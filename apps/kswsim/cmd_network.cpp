@@ -1,0 +1,132 @@
+// kswsim network — whole-network waiting-time estimates (Sections IV-V).
+//
+//   kswsim network --k=2 --p=0.5 --stages=10 [--bulk=B] [--q=Q]
+//                  [--service=det:1] [--quantiles=0.5,0.95,0.99]
+//                  [--format=table|json|csv]
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "core/total_delay.hpp"
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "kswsim/cli.hpp"
+#include "tables/table.hpp"
+
+namespace ksw::cli {
+
+namespace {
+
+std::vector<double> parse_quantiles(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::size_t pos = 0;
+    const double v = std::stod(item, &pos);
+    if (pos != item.size() || v <= 0.0 || v >= 1.0)
+      throw std::invalid_argument("--quantiles: bad value " + item);
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+int cmd_network(const ArgMap& args, std::ostream& out, std::ostream& err) {
+  const Format format = parse_format(args);
+  const unsigned stages_n = args.get_unsigned("stages", 10);
+  const auto quantiles =
+      parse_quantiles(args.get("quantiles", "0.5,0.9,0.99"));
+
+  core::NetworkTrafficSpec spec;
+  spec.k = args.get_unsigned("k", 2);
+  spec.p = args.get_double("p", 0.5);
+  spec.bulk = args.get_unsigned("bulk", 1);
+  spec.q = args.get_double("q", 0.0);
+  spec.service = parse_service(args.get("service", "det:1")).to_model();
+
+  const auto unknown = args.unused();
+  if (!unknown.empty()) {
+    err << "network: unknown option --" << unknown.front() << "\n";
+    return 2;
+  }
+
+  const core::LaterStages ls(spec);
+  const core::TotalDelay td(ls, stages_n);
+  const auto gamma = td.gamma_approximation();
+
+  switch (format) {
+    case Format::kTable: {
+      tables::Table per_stage("Per-stage waiting-time estimates",
+                              {"stage", "E[wait]", "Var[wait]"});
+      for (unsigned i = 1; i <= stages_n; ++i)
+        per_stage.begin_row(std::to_string(i))
+            .add_number(ls.mean_at_stage(i), 5)
+            .add_number(ls.variance_at_stage(i), 5);
+      per_stage.begin_row("limit")
+          .add_number(ls.mean_limit(), 5)
+          .add_number(ls.variance_limit(), 5);
+      per_stage.print(out);
+
+      tables::Table totals("\nTotal waiting time over " +
+                               std::to_string(stages_n) + " stages",
+                           {"quantity", "value"});
+      totals.begin_row("E[total wait]").add_number(td.mean_total(), 5);
+      totals.begin_row("Var[total wait]").add_number(td.variance_total(), 5);
+      totals.begin_row("Var (independent)")
+          .add_number(td.variance_total(false), 5);
+      totals.begin_row("E[total delay]")
+          .add_number(td.mean_total_delay(), 5);
+      for (double p : quantiles) {
+        const double pct = 100.0 * p;
+        const bool whole = pct == static_cast<double>(static_cast<int>(pct));
+        totals
+            .begin_row("p" + tables::format_number(pct, whole ? 0 : 1) +
+                       " wait")
+            .add_number(gamma.quantile(p), 5);
+      }
+      totals.print(out);
+      break;
+    }
+    case Format::kJson: {
+      io::Json doc = io::Json::object();
+      doc.set("stages", static_cast<std::int64_t>(stages_n));
+      doc.set("rho", spec.rho());
+      io::Json per_stage = io::Json::array();
+      for (unsigned i = 1; i <= stages_n; ++i) {
+        io::Json row = io::Json::object();
+        row.set("stage", static_cast<std::int64_t>(i));
+        row.set("mean", ls.mean_at_stage(i));
+        row.set("variance", ls.variance_at_stage(i));
+        per_stage.push_back(std::move(row));
+      }
+      doc.set("per_stage", std::move(per_stage));
+      doc.set("mean_total", td.mean_total());
+      doc.set("var_total", td.variance_total());
+      doc.set("mean_total_delay", td.mean_total_delay());
+      io::Json qs = io::Json::object();
+      for (double p : quantiles)
+        qs.set(tables::format_number(p, 3), gamma.quantile(p));
+      doc.set("quantiles", std::move(qs));
+      doc.write(out, 2);
+      out << '\n';
+      break;
+    }
+    case Format::kCsv: {
+      io::CsvWriter csv({"stage", "mean", "variance"});
+      for (unsigned i = 1; i <= stages_n; ++i)
+        csv.begin_row()
+            .add(static_cast<std::int64_t>(i))
+            .add(ls.mean_at_stage(i))
+            .add(ls.variance_at_stage(i));
+      csv.begin_row().add("total").add(td.mean_total()).add(
+          td.variance_total());
+      csv.write(out);
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ksw::cli

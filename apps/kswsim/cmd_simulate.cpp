@@ -1,0 +1,161 @@
+// kswsim simulate — cycle-accurate banyan network simulation.
+//
+//   kswsim simulate --k=2 --stages=8 --p=0.5 [--bulk=B] [--q=Q]
+//                   [--hotspot=H] [--service=det:1] [--cycles=N]
+//                   [--warmup=N] [--seed=N] [--replicates=R] [--threads=T]
+//                   [--buffer-capacity=C] [--correlations]
+//                   [--checkpoints=3,6,9,12] [--format=table|json|csv]
+#include <ostream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "kswsim/cli.hpp"
+#include "sim/replicate.hpp"
+#include "tables/table.hpp"
+
+namespace ksw::cli {
+
+namespace {
+
+std::vector<unsigned> parse_checkpoints(const std::string& text) {
+  std::vector<unsigned> out;
+  if (text.empty()) return out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::size_t pos = 0;
+    const long v = std::stol(item, &pos);
+    if (pos != item.size() || v <= 0)
+      throw std::invalid_argument("--checkpoints: bad value " + item);
+    out.push_back(static_cast<unsigned>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+int cmd_simulate(const ArgMap& args, std::ostream& out, std::ostream& err) {
+  const Format format = parse_format(args);
+
+  sim::NetworkConfig cfg;
+  cfg.k = args.get_unsigned("k", 2);
+  cfg.stages = args.get_unsigned("stages", 8);
+  cfg.p = args.get_double("p", 0.5);
+  cfg.bulk = args.get_unsigned("bulk", 1);
+  cfg.q = args.get_double("q", 0.0);
+  cfg.hotspot = args.get_double("hotspot", 0.0);
+  cfg.hotspot_target = args.get_unsigned("hotspot-target", 0);
+  const std::string topology = args.get("topology", "butterfly");
+  if (topology == "omega")
+    cfg.topology = sim::TopologyKind::kOmega;
+  else if (topology != "butterfly")
+    throw std::invalid_argument("--topology: expected butterfly|omega");
+  cfg.service = parse_service(args.get("service", "det:1"));
+  cfg.measure_cycles = args.get_int("cycles", 50'000);
+  cfg.warmup_cycles = args.get_int("warmup", cfg.measure_cycles / 10);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.buffer_capacity = args.get_unsigned("buffer-capacity", 0);
+  cfg.track_correlations = args.get_flag("correlations");
+  cfg.total_checkpoints = parse_checkpoints(args.get("checkpoints", ""));
+  const unsigned replicates = args.get_unsigned("replicates", 1);
+  const unsigned threads = args.get_unsigned("threads", 0);
+
+  const auto unknown = args.unused();
+  if (!unknown.empty()) {
+    err << "simulate: unknown option --" << unknown.front() << "\n";
+    return 2;
+  }
+
+  sim::NetworkResults r;
+  if (replicates > 1) {
+    par::ThreadPool pool(threads);
+    r = sim::replicate_network(cfg, replicates, pool);
+  } else {
+    r = sim::run_network(cfg);
+  }
+
+  switch (format) {
+    case Format::kTable: {
+      tables::Table table("Simulated per-stage waiting times",
+                          {"stage", "E[wait]", "Var[wait]", "E[queue]"});
+      for (unsigned s = 0; s < cfg.stages; ++s)
+        table.begin_row(std::to_string(s + 1))
+            .add_number(r.stage_wait[s].mean(), 5)
+            .add_number(r.stage_wait[s].variance(), 5)
+            .add_number(r.stage_depth[s].mean(), 5);
+      table.print(out);
+      if (!cfg.total_checkpoints.empty()) {
+        tables::Table totals("\nTotal waiting over first c stages",
+                             {"stages", "mean", "variance", "p95"});
+        for (std::size_t i = 0; i < cfg.total_checkpoints.size(); ++i)
+          totals.begin_row(std::to_string(cfg.total_checkpoints[i]))
+              .add_number(r.total_wait[i].mean(), 5)
+              .add_number(r.total_wait[i].variance(), 5)
+              .add_number(static_cast<double>(r.total_wait[i].quantile(0.95)),
+                          1);
+        totals.print(out);
+      }
+      if (cfg.track_correlations && r.stage_covariance) {
+        tables::Table corr("\nNeighbor-stage correlations",
+                           {"stages", "correlation"});
+        for (unsigned s = 0; s + 1 < cfg.stages; ++s)
+          corr.begin_row(std::to_string(s + 1) + "-" + std::to_string(s + 2))
+              .add_number(r.stage_covariance->correlation(s, s + 1), 5);
+        corr.print(out);
+      }
+      out << "packets: injected=" << r.packets_injected
+          << " delivered=" << r.packets_delivered
+          << " dropped=" << r.packets_dropped << "\n";
+      break;
+    }
+    case Format::kJson: {
+      io::Json doc = io::Json::object();
+      io::Json per_stage = io::Json::array();
+      for (unsigned s = 0; s < cfg.stages; ++s) {
+        io::Json row = io::Json::object();
+        row.set("stage", static_cast<std::int64_t>(s + 1));
+        row.set("mean", r.stage_wait[s].mean());
+        row.set("variance", r.stage_wait[s].variance());
+        row.set("mean_queue", r.stage_depth[s].mean());
+        per_stage.push_back(std::move(row));
+      }
+      doc.set("per_stage", std::move(per_stage));
+      if (!cfg.total_checkpoints.empty()) {
+        io::Json totals = io::Json::array();
+        for (std::size_t i = 0; i < cfg.total_checkpoints.size(); ++i) {
+          io::Json row = io::Json::object();
+          row.set("stages",
+                  static_cast<std::int64_t>(cfg.total_checkpoints[i]));
+          row.set("mean", r.total_wait[i].mean());
+          row.set("variance", r.total_wait[i].variance());
+          totals.push_back(std::move(row));
+        }
+        doc.set("totals", std::move(totals));
+      }
+      doc.set("packets_injected",
+              static_cast<std::uint64_t>(r.packets_injected));
+      doc.set("packets_delivered",
+              static_cast<std::uint64_t>(r.packets_delivered));
+      doc.set("packets_dropped",
+              static_cast<std::uint64_t>(r.packets_dropped));
+      doc.write(out, 2);
+      out << '\n';
+      break;
+    }
+    case Format::kCsv: {
+      io::CsvWriter csv({"stage", "mean", "variance", "mean_queue"});
+      for (unsigned s = 0; s < cfg.stages; ++s)
+        csv.begin_row()
+            .add(static_cast<std::int64_t>(s + 1))
+            .add(r.stage_wait[s].mean())
+            .add(r.stage_wait[s].variance())
+            .add(r.stage_depth[s].mean());
+      csv.write(out);
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ksw::cli

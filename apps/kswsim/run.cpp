@@ -1,0 +1,66 @@
+#include <exception>
+#include <ostream>
+
+#include "kswsim/cli.hpp"
+
+namespace ksw::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(kswsim - waiting times in clocked multistage interconnection networks
+(Kruskal-Snir-Weiss, ICPP 1986 / IEEE ToC 1988)
+
+usage: kswsim <command> [options]
+
+commands:
+  analyze    exact first-stage waiting-time analysis (Theorem 1)
+             --k=2 --s=2 --p=0.5 --bulk=1 --q=0 --service=det:1
+             --distribution=N
+  network    whole-network estimates (Sections IV-V)
+             --k=2 --p=0.5 --stages=10 --bulk=1 --q=0 --service=det:1
+             --quantiles=0.5,0.9,0.99
+  simulate   cycle-accurate banyan network simulation
+             --k=2 --stages=8 --p=0.5 --bulk=1 --q=0 --hotspot=0
+             --topology=butterfly|omega --service=det:1 --cycles=50000
+             --warmup=auto --seed=1 --replicates=1 --threads=0
+             --buffer-capacity=0 --correlations --checkpoints=3,6,9,12
+  calibrate  re-fit the Section IV interpolation constants
+             --k=2 --rho=0.5 --stages=8 --cycles=100000 --seed=1
+
+common options:
+  --format=table|json|csv   output format (default: table)
+  --help                    this message
+
+service specs: det:M (constant M cycles), geo:MU (geometric, mean 1/MU),
+               multi:M1@P1,M2@P2,... (mixture of constant sizes)
+)";
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "help") {
+      out << kUsage;
+      return args.empty() ? 2 : 0;
+    }
+    const std::string command = args[0];
+    const ArgMap parsed =
+        ArgMap::parse({args.begin() + 1, args.end()});
+    if (parsed.has("help")) {
+      out << kUsage;
+      return 0;
+    }
+    if (command == "analyze") return cmd_analyze(parsed, out, err);
+    if (command == "network") return cmd_network(parsed, out, err);
+    if (command == "simulate") return cmd_simulate(parsed, out, err);
+    if (command == "calibrate") return cmd_calibrate(parsed, out, err);
+    err << "kswsim: unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "kswsim: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace ksw::cli

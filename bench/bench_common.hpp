@@ -1,0 +1,44 @@
+// Shared helpers for the table-reproduction harnesses.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace ksw::bench {
+
+/// Command-line options shared by every harness.
+struct Options {
+  /// Scale factor on simulation length: 1.0 normally, 0.1 with --quick.
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::int64_t cycles(std::int64_t base) const {
+    const auto scaled = static_cast<std::int64_t>(static_cast<double>(base) *
+                                                  scale);
+    return scaled < 1000 ? 1000 : scaled;
+  }
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.scale = 0.1;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      opt.seed = std::stoull(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: " << argv[0] << " [--quick] [--seed=N]\n"
+                << "  --quick   cut simulation length 10x (smoke run)\n"
+                << "  --seed=N  master RNG seed (default 1)\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option: " << argv[i] << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+}  // namespace ksw::bench

@@ -1,0 +1,78 @@
+// Ablation (Section V design choice) — three estimators of the total
+// waiting-time distribution, scored against simulation by binned
+// total-variation distance:
+//   * gamma       — gamma matched to the Section V mean/variance
+//                   (what the paper uses in Figs. 3-8);
+//   * iid conv    — n-fold convolution of the exact first-stage pmf
+//                   ("stages identical and independent" taken literally);
+//   * scaled conv — per-stage drift-corrected convolution.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/total_distribution.hpp"
+#include "sim/network.hpp"
+#include "stats/goodness_of_fit.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+double pmf_tv(const ksw::stats::IntHistogram& hist,
+              const std::vector<double>& pmf) {
+  const std::int64_t wmax = hist.max_value();
+  double acc = 0.0, mass = 0.0;
+  for (std::int64_t w = 0; w <= wmax; ++w) {
+    const double model = static_cast<std::size_t>(w) < pmf.size()
+                             ? pmf[static_cast<std::size_t>(w)]
+                             : 0.0;
+    mass += model;
+    acc += std::abs(hist.pmf(w) - model);
+  }
+  acc += std::max(0.0, 1.0 - mass);
+  return 0.5 * acc;
+}
+
+void run_case(double rho, const ksw::bench::Options& opt) {
+  ksw::core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = rho;
+  const ksw::core::LaterStages ls(spec);
+
+  ksw::sim::NetworkConfig cfg;
+  cfg.k = 2;
+  cfg.stages = 12;
+  cfg.p = rho;
+  cfg.total_checkpoints = {3, 6, 9, 12};
+  cfg.seed = opt.seed;
+  cfg.warmup_cycles = opt.cycles(4'000);
+  cfg.measure_cycles = opt.cycles(40'000);
+  const auto r = ksw::sim::run_network(cfg);
+
+  ksw::tables::Table table(
+      "Total-distribution estimators at rho=" +
+          ksw::tables::format_number(rho, 1) +
+          " (k=2, m=1): TV distance to simulation",
+      {"stages", "gamma", "iid conv", "scaled conv"});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned n = 3 * (static_cast<unsigned>(i) + 1);
+    const ksw::core::TotalDistribution dist(ls, n);
+    const auto& hist = r.total_wait[i];
+    table.begin_row(std::to_string(n))
+        .add_number(ksw::stats::total_variation_distance(hist, dist.gamma()))
+        .add_number(pmf_tv(hist, dist.iid_convolution(2048)))
+        .add_number(pmf_tv(hist, dist.scaled_convolution(2048)));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ksw::bench::parse_options(argc, argv);
+  for (double rho : {0.2, 0.5, 0.8}) run_case(rho, opt);
+  std::cout << "The scaled convolution tracks the exact integer support; "
+               "the gamma\ncarries the covariance correction. Both beat the "
+               "naive IID convolution\nonce stage drift matters (higher "
+               "rho, deeper networks).\n";
+  return 0;
+}

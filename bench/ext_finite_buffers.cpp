@@ -1,0 +1,69 @@
+// Extension (Section VI future work) — Finite buffers: delay and loss vs
+// buffer depth, against the infinite-buffer prediction. The paper notes
+// that "for light-to-moderate loads, moderate-sized buffers provide
+// approximately the same performance as infinite buffers"; this harness
+// quantifies how quickly that holds.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/first_stage.hpp"
+#include "core/later_stages.hpp"
+#include "sim/network.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+void run_load(double rho, const ksw::bench::Options& opt) {
+  ksw::core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = rho;
+  const ksw::core::LaterStages ls(spec);
+
+  // Infinite-buffer backlog tail P(s > c) from the exact unfinished-work
+  // distribution (Theorem 1's Psi) — a first-order predictor of where
+  // drops stop mattering.
+  const ksw::core::FirstStage first(spec.first_stage_queue());
+
+  ksw::tables::Table table(
+      "Finite buffers (k=2, 6 stages, rho=" +
+          ksw::tables::format_number(rho, 1) +
+          "): deep-stage waiting vs buffer capacity",
+      {"capacity", "stage-6 wait", "drop fraction", "P(s>c) pred",
+       "inf-buffer est"});
+
+  for (unsigned cap : {1u, 2u, 4u, 8u, 16u, 0u}) {
+    ksw::sim::NetworkConfig cfg;
+    cfg.k = 2;
+    cfg.stages = 6;
+    cfg.p = rho;
+    cfg.buffer_capacity = cap;
+    cfg.seed = opt.seed;
+    cfg.warmup_cycles = opt.cycles(5'000);
+    cfg.measure_cycles = opt.cycles(60'000);
+    const auto r = ksw::sim::run_network(cfg);
+    const double drop =
+        r.packets_injected + r.packets_dropped == 0
+            ? 0.0
+            : static_cast<double>(r.packets_dropped) /
+                  static_cast<double>(r.packets_injected + r.packets_dropped);
+    table.begin_row(cap == 0 ? "infinite" : std::to_string(cap))
+        .add_number(r.stage_wait[5].mean())
+        .add_number(drop, 5);
+    if (cap == 0)
+      table.add_cell("0");
+    else
+      table.add_number(first.overflow_probability(cap), 5);
+    table.add_number(ls.mean_limit());
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ksw::bench::parse_options(argc, argv);
+  run_load(0.5, opt);
+  run_load(0.8, opt);
+  return 0;
+}

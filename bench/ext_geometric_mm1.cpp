@@ -1,0 +1,74 @@
+// Extension (Sections III-B, III-C) — Geometric service times and the
+// M/M/1 continuous-time limit: as the clock is refined (n cycles per time
+// unit), the discrete queue's scaled waiting time converges to M/M/1.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/first_stage.hpp"
+#include "core/mg1.hpp"
+#include "sim/first_stage_sim.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+void geometric_sweep(const ksw::bench::Options& opt) {
+  ksw::tables::Table table(
+      "Geometric service (k=2, rho=0.5): analysis vs simulation",
+      {"mu", "mean svc", "sim mean", "exact mean", "sim var", "exact var"});
+  for (double mu : {1.0, 0.5, 0.25, 0.125}) {
+    const double p = 0.5 * mu;
+
+    ksw::sim::FirstStageConfig cfg;
+    cfg.p = p;
+    cfg.service = ksw::sim::ServiceSpec::geometric(mu);
+    cfg.seed = opt.seed;
+    cfg.warmup_cycles = opt.cycles(5'000);
+    cfg.measure_cycles = opt.cycles(400'000);
+    const auto r = ksw::sim::run_first_stage(cfg);
+
+    ksw::core::QueueSpec spec{
+        std::shared_ptr<ksw::core::ArrivalModel>(
+            ksw::core::make_uniform_arrivals(2, 2, p)),
+        std::make_shared<ksw::core::GeometricService>(mu)};
+    const auto exact = ksw::core::FirstStage(spec).moments();
+
+    table.begin_row(ksw::tables::format_number(mu, 3))
+        .add_number(1.0 / mu, 1)
+        .add_number(r.waiting.mean(), 3)
+        .add_number(exact.mean, 3)
+        .add_number(r.waiting.variance(), 3)
+        .add_number(exact.variance, 3);
+  }
+  table.print(std::cout);
+}
+
+void mm1_limit() {
+  const double rho = 0.6;
+  const auto ref = ksw::core::mg1::mm1_waiting(rho, 1.0);
+  ksw::tables::Table table(
+      "\nM/M/1 limit (rho=0.6): discrete queue with n cycles per time unit",
+      {"n", "scaled mean", "M/M/1 mean", "scaled var", "M/M/1 var"});
+  for (double n : {4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    const double mu = 1.0 / n;
+    const double p = rho * mu;
+    ksw::core::QueueSpec spec{
+        std::shared_ptr<ksw::core::ArrivalModel>(
+            ksw::core::make_uniform_arrivals(1, 1, p)),
+        std::make_shared<ksw::core::GeometricService>(mu)};
+    const auto m = ksw::core::FirstStage(spec).moments();
+    table.begin_row(ksw::tables::format_number(n, 0))
+        .add_number(m.mean / n, 4)
+        .add_number(ref.mean, 4)
+        .add_number(m.variance / (n * n), 4)
+        .add_number(ref.variance, 4);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  geometric_sweep(ksw::bench::parse_options(argc, argv));
+  mm1_limit();
+  return 0;
+}

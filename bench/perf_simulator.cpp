@@ -1,0 +1,79 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the analytic
+// kernels and the cycle-accurate simulator.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/first_stage.hpp"
+#include "core/total_delay.hpp"
+#include "sim/first_stage_sim.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+void BM_FirstStageMoments(benchmark::State& state) {
+  ksw::core::QueueSpec spec{
+      std::shared_ptr<ksw::core::ArrivalModel>(
+          ksw::core::make_uniform_arrivals(2, 2, 0.5)),
+      std::make_shared<ksw::core::DeterministicService>(4)};
+  const ksw::core::FirstStage fs(spec);
+  for (auto _ : state) benchmark::DoNotOptimize(fs.moments().variance);
+}
+BENCHMARK(BM_FirstStageMoments);
+
+void BM_DistributionInversion(benchmark::State& state) {
+  ksw::core::QueueSpec spec{
+      std::shared_ptr<ksw::core::ArrivalModel>(
+          ksw::core::make_uniform_arrivals(2, 2, 0.5)),
+      std::make_shared<ksw::core::DeterministicService>(1)};
+  const ksw::core::FirstStage fs(spec);
+  const auto length = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fs.distribution(length).back());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DistributionInversion)->Range(64, 2048)->Complexity();
+
+void BM_TotalDelayPrediction(benchmark::State& state) {
+  ksw::core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.5;
+  const ksw::core::LaterStages ls(spec);
+  for (auto _ : state) {
+    const ksw::core::TotalDelay td(ls, 12);
+    benchmark::DoNotOptimize(td.variance_total());
+  }
+}
+BENCHMARK(BM_TotalDelayPrediction);
+
+void BM_SingleSwitchSim(benchmark::State& state) {
+  ksw::sim::FirstStageConfig cfg;
+  cfg.p = 0.5;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = state.range(0);
+  for (auto _ : state) {
+    cfg.seed += 1;  // fresh stream each iteration
+    benchmark::DoNotOptimize(ksw::sim::run_first_stage(cfg).messages);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SingleSwitchSim)->Arg(10'000);
+
+void BM_NetworkSimCyclesPerSecond(benchmark::State& state) {
+  ksw::sim::NetworkConfig cfg;
+  cfg.k = 2;
+  cfg.stages = static_cast<unsigned>(state.range(0));
+  cfg.p = 0.5;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 2'000;
+  for (auto _ : state) {
+    cfg.seed += 1;
+    benchmark::DoNotOptimize(ksw::sim::run_network(cfg).packets_delivered);
+  }
+  // One item = one port-cycle of switching work.
+  state.SetItemsProcessed(state.iterations() * cfg.measure_cycles *
+                          (1ll << cfg.stages) * cfg.stages);
+}
+BENCHMARK(BM_NetworkSimCyclesPerSecond)->Arg(6)->Arg(8)->Arg(10);
+
+}  // namespace

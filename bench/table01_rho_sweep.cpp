@@ -1,0 +1,69 @@
+// Table I — Waiting times and variances, rho varying (k = 2, m = 1, q = 0).
+//
+// Reproduces: per-stage simulated waiting mean/variance for stages 1-8,
+// the exact first-stage ANALYSIS row (eqs. 6, 7) and the limiting ESTIMATE
+// row (eqs. 11, 13).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/later_stages.hpp"
+#include "sim/network.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+constexpr unsigned kStages = 8;
+
+void run(const ksw::bench::Options& opt) {
+  const double rhos[] = {0.2, 0.4, 0.5, 0.6, 0.8};
+
+  std::vector<std::string> headers = {"row"};
+  for (double rho : rhos) {
+    headers.push_back("w (p=" + ksw::tables::format_number(rho, 1) + ")");
+    headers.push_back("v (p=" + ksw::tables::format_number(rho, 1) + ")");
+  }
+  ksw::tables::Table table(
+      "Table I: waiting times and variances, rho varying (k=2, m=1, q=0)",
+      headers);
+
+  std::vector<ksw::sim::NetworkResults> results;
+  std::vector<ksw::core::LaterStages> estimates;
+  for (double rho : rhos) {
+    ksw::sim::NetworkConfig cfg;
+    cfg.k = 2;
+    cfg.stages = kStages;
+    cfg.p = rho;
+    cfg.seed = opt.seed;
+    cfg.warmup_cycles = opt.cycles(8'000);
+    cfg.measure_cycles = opt.cycles(rho >= 0.8 ? 160'000 : 80'000);
+    results.push_back(ksw::sim::run_network(cfg));
+
+    ksw::core::NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = rho;
+    estimates.emplace_back(spec);
+  }
+
+  for (unsigned s = 0; s < kStages; ++s) {
+    table.begin_row("stage " + std::to_string(s + 1));
+    for (const auto& r : results)
+      table.add_number(r.stage_wait[s].mean())
+          .add_number(r.stage_wait[s].variance());
+  }
+  table.begin_row("ANALYSIS (eq 6/7)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_first_stage())
+        .add_number(ls.variance_first_stage());
+  table.begin_row("ESTIMATE (eq 11/13)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_limit()).add_number(ls.variance_limit());
+
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run(ksw::bench::parse_options(argc, argv));
+  return 0;
+}

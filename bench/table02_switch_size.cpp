@@ -1,0 +1,75 @@
+// Table II — Waiting times and variances, k varying (rho = 0.5, m = 1,
+// q = 0). Per-stage simulation against the exact first stage and the
+// k-generalized limit formula (eq. 11 with coefficient 4/(5k)).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/later_stages.hpp"
+#include "sim/network.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+void run(const ksw::bench::Options& opt) {
+  struct Config {
+    unsigned k;
+    unsigned stages;  // limited so k^stages stays laptop-sized
+  };
+  const Config configs[] = {{2, 8}, {4, 5}, {8, 4}};
+
+  std::vector<std::string> headers = {"row"};
+  for (const auto& c : configs) {
+    headers.push_back("w (k=" + std::to_string(c.k) + ")");
+    headers.push_back("v (k=" + std::to_string(c.k) + ")");
+  }
+  ksw::tables::Table table(
+      "Table II: waiting times and variances, k varying (rho=0.5, m=1, q=0)",
+      headers);
+
+  std::vector<ksw::sim::NetworkResults> results;
+  std::vector<ksw::core::LaterStages> estimates;
+  unsigned max_stages = 0;
+  for (const auto& c : configs) {
+    ksw::sim::NetworkConfig cfg;
+    cfg.k = c.k;
+    cfg.stages = c.stages;
+    cfg.p = 0.5;
+    cfg.seed = opt.seed;
+    cfg.warmup_cycles = opt.cycles(5'000);
+    cfg.measure_cycles = opt.cycles(50'000);
+    results.push_back(ksw::sim::run_network(cfg));
+    max_stages = std::max(max_stages, c.stages);
+
+    ksw::core::NetworkTrafficSpec spec;
+    spec.k = c.k;
+    spec.p = 0.5;
+    estimates.emplace_back(spec);
+  }
+
+  for (unsigned s = 0; s < max_stages; ++s) {
+    table.begin_row("stage " + std::to_string(s + 1));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (s < configs[i].stages)
+        table.add_number(results[i].stage_wait[s].mean())
+            .add_number(results[i].stage_wait[s].variance());
+      else
+        table.add_blank().add_blank();
+    }
+  }
+  table.begin_row("ANALYSIS (eq 6/7)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_first_stage())
+        .add_number(ls.variance_first_stage());
+  table.begin_row("ESTIMATE (eq 11/13)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_limit()).add_number(ls.variance_limit());
+
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run(ksw::bench::parse_options(argc, argv));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table III — Waiting times and variances, p and m varying with rho = 0.5
+// (k = 2, q = 0). Constant message sizes m in {2, 4, 8, 16}; exact first
+// stage from eqs. (8)/(9) and limits from eqs. (15)/(16).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/closed_forms.hpp"
+#include "core/later_stages.hpp"
+#include "sim/network.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+constexpr unsigned kStages = 8;
+
+void run(const ksw::bench::Options& opt) {
+  const unsigned sizes[] = {2, 4, 8, 16};
+
+  std::vector<std::string> headers = {"row"};
+  for (unsigned m : sizes) {
+    headers.push_back("w (m=" + std::to_string(m) + ")");
+    headers.push_back("v (m=" + std::to_string(m) + ")");
+  }
+  ksw::tables::Table table(
+      "Table III: waiting times and variances, m varying with rho=0.5 "
+      "(k=2, q=0)",
+      headers);
+
+  std::vector<ksw::sim::NetworkResults> results;
+  std::vector<ksw::core::LaterStages> estimates;
+  for (unsigned m : sizes) {
+    const double p = 0.5 / static_cast<double>(m);
+    ksw::sim::NetworkConfig cfg;
+    cfg.k = 2;
+    cfg.stages = kStages;
+    cfg.p = p;
+    cfg.service = ksw::sim::ServiceSpec::deterministic(m);
+    cfg.seed = opt.seed;
+    cfg.warmup_cycles = opt.cycles(8'000);
+    cfg.measure_cycles = opt.cycles(120'000);
+    results.push_back(ksw::sim::run_network(cfg));
+
+    ksw::core::NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = p;
+    spec.service = std::make_shared<ksw::core::DeterministicService>(m);
+    estimates.emplace_back(spec);
+  }
+
+  for (unsigned s = 0; s < kStages; ++s) {
+    table.begin_row("stage " + std::to_string(s + 1));
+    for (const auto& r : results)
+      table.add_number(r.stage_wait[s].mean(), 3)
+          .add_number(r.stage_wait[s].variance(), 3);
+  }
+  table.begin_row("ANALYSIS (eq 8/9)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_first_stage(), 3)
+        .add_number(ls.variance_first_stage(), 3);
+  table.begin_row("ESTIMATE (eq 15/16)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_limit(), 3).add_number(ls.variance_limit(), 3);
+
+  table.print(std::cout);
+  std::cout << "\nPaper's ESTIMATE row for comparison: "
+               "0.600/1.167  1.200/4.667  2.400/18.67  4.800/74.67\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run(ksw::bench::parse_options(argc, argv));
+  return 0;
+}

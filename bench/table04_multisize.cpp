@@ -1,0 +1,76 @@
+// Table IV — Waiting times and variances with two message sizes m1 = 4,
+// m2 = 8; mixture weights (g1, g2) varying with rho = 0.5 (k = 2, q = 0).
+// Exact first stage from Theorem 1; limits from the Section IV-C
+// mean-size-with-exact-ratio method (eqs. 17/18).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/later_stages.hpp"
+#include "sim/network.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+constexpr unsigned kStages = 8;
+
+void run(const ksw::bench::Options& opt) {
+  const double g1s[] = {0.875, 0.75, 0.5, 0.25};
+
+  std::vector<std::string> headers = {"row"};
+  for (double g1 : g1s) {
+    headers.push_back("w (g1=" + ksw::tables::format_number(g1, 3) + ")");
+    headers.push_back("v (g1=" + ksw::tables::format_number(g1, 3) + ")");
+  }
+  ksw::tables::Table table(
+      "Table IV: waiting times and variances, m1=4, m2=8, g1 varying "
+      "(rho=0.5, k=2, q=0)",
+      headers);
+
+  std::vector<ksw::sim::NetworkResults> results;
+  std::vector<ksw::core::LaterStages> estimates;
+  for (double g1 : g1s) {
+    const double mbar = 4.0 * g1 + 8.0 * (1.0 - g1);
+    const double p = 0.5 / mbar;
+    const std::vector<ksw::core::MultiSizeService::Size> sizes = {
+        {4, g1}, {8, 1.0 - g1}};
+
+    ksw::sim::NetworkConfig cfg;
+    cfg.k = 2;
+    cfg.stages = kStages;
+    cfg.p = p;
+    cfg.service = ksw::sim::ServiceSpec::multi_size(sizes);
+    cfg.seed = opt.seed;
+    cfg.warmup_cycles = opt.cycles(8'000);
+    cfg.measure_cycles = opt.cycles(120'000);
+    results.push_back(ksw::sim::run_network(cfg));
+
+    ksw::core::NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = p;
+    spec.service = std::make_shared<ksw::core::MultiSizeService>(sizes);
+    estimates.emplace_back(spec);
+  }
+
+  for (unsigned s = 0; s < kStages; ++s) {
+    table.begin_row("stage " + std::to_string(s + 1));
+    for (const auto& r : results)
+      table.add_number(r.stage_wait[s].mean(), 3)
+          .add_number(r.stage_wait[s].variance(), 3);
+  }
+  table.begin_row("ANALYSIS (Thm 1)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_first_stage(), 3)
+        .add_number(ls.variance_first_stage(), 3);
+  table.begin_row("ESTIMATE (eq 17/18)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_limit(), 3).add_number(ls.variance_limit(), 3);
+
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run(ksw::bench::parse_options(argc, argv));
+  return 0;
+}

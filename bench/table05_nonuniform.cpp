@@ -1,0 +1,69 @@
+// Table V — Waiting times and variances, favorite-output probability q
+// varying (rho = 0.5, k = 2, m = 1). Each source sends to its own address
+// with probability q (Ultracomputer/RP3 private-memory traffic).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/later_stages.hpp"
+#include "sim/network.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+constexpr unsigned kStages = 8;
+
+void run(const ksw::bench::Options& opt) {
+  const double qs[] = {0.0, 0.25, 0.5, 0.75};
+
+  std::vector<std::string> headers = {"row"};
+  for (double q : qs) {
+    headers.push_back("w (q=" + ksw::tables::format_number(q, 2) + ")");
+    headers.push_back("v (q=" + ksw::tables::format_number(q, 2) + ")");
+  }
+  ksw::tables::Table table(
+      "Table V: waiting times and variances, q varying (rho=0.5, k=2, m=1)",
+      headers);
+
+  std::vector<ksw::sim::NetworkResults> results;
+  std::vector<ksw::core::LaterStages> estimates;
+  for (double q : qs) {
+    ksw::sim::NetworkConfig cfg;
+    cfg.k = 2;
+    cfg.stages = kStages;
+    cfg.p = 0.5;
+    cfg.q = q;
+    cfg.seed = opt.seed;
+    cfg.warmup_cycles = opt.cycles(8'000);
+    cfg.measure_cycles = opt.cycles(80'000);
+    results.push_back(ksw::sim::run_network(cfg));
+
+    ksw::core::NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = 0.5;
+    spec.q = q;
+    estimates.emplace_back(spec);
+  }
+
+  for (unsigned s = 0; s < kStages; ++s) {
+    table.begin_row("stage " + std::to_string(s + 1));
+    for (const auto& r : results)
+      table.add_number(r.stage_wait[s].mean())
+          .add_number(r.stage_wait[s].variance());
+  }
+  table.begin_row("ANALYSIS (III-A-3)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_first_stage())
+        .add_number(ls.variance_first_stage());
+  table.begin_row("ESTIMATE (IV-D)");
+  for (const auto& ls : estimates)
+    table.add_number(ls.mean_limit()).add_number(ls.variance_limit());
+
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run(ksw::bench::parse_options(argc, argv));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table VI — Correlations of waiting times between stages (k = 2,
+// rho = 0.5, m = 1), plus the Section V geometric covariance model
+// (a = 0.12, b = 0.4 at this operating point) for comparison.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/total_delay.hpp"
+#include "sim/network.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+constexpr unsigned kStages = 8;
+
+void run(const ksw::bench::Options& opt) {
+  ksw::sim::NetworkConfig cfg;
+  cfg.k = 2;
+  cfg.stages = kStages;
+  cfg.p = 0.5;
+  cfg.track_correlations = true;
+  cfg.seed = opt.seed;
+  cfg.warmup_cycles = opt.cycles(8'000);
+  cfg.measure_cycles = opt.cycles(120'000);
+  const auto r = ksw::sim::run_network(cfg);
+
+  std::vector<std::string> headers = {"stage"};
+  for (unsigned j = 1; j <= kStages; ++j)
+    headers.push_back(std::to_string(j));
+  ksw::tables::Table table(
+      "Table VI: correlations of waiting times between stages "
+      "(k=2, rho=0.5, m=1) - SIMULATION",
+      headers);
+  for (unsigned i = 1; i <= kStages; ++i) {
+    table.begin_row(std::to_string(i));
+    for (unsigned j = 1; j <= kStages; ++j) {
+      if (j < i)
+        table.add_blank();
+      else
+        table.add_number(r.stage_covariance->correlation(i - 1, j - 1));
+    }
+  }
+  table.print(std::cout);
+
+  ksw::core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.5;
+  const ksw::core::TotalDelay model(ksw::core::LaterStages(spec), kStages);
+  ksw::tables::Table mtable(
+      "\nSection V covariance model: corr(i, i+d) = a b^{d-1} "
+      "(a=0.12, b=0.4 here)",
+      headers);
+  for (unsigned i = 1; i <= kStages; ++i) {
+    mtable.begin_row(std::to_string(i));
+    for (unsigned j = 1; j <= kStages; ++j) {
+      if (j < i)
+        mtable.add_blank();
+      else
+        mtable.add_number(model.correlation(i, j));
+    }
+  }
+  mtable.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run(ksw::bench::parse_options(argc, argv));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Tables VII-XII — Comparison of predictions to simulations: total waiting
+// time mean and variance for n in {3, 6, 9, 12} stages over the paper's
+// grid (rho in {0.2, 0.5, 0.8}) x (m in {1, 4}), k = 2.
+//
+//   Table VII : rho = 0.2,  m = 1      Table VIII: p = 0.05,  m = 4
+//   Table IX  : rho = 0.5,  m = 1      Table X   : p = 0.125, m = 4
+//   Table XI  : rho = 0.8,  m = 1      Table XII : p = 0.2,   m = 4
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/total_delay.hpp"
+#include "sim/network.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+struct Case {
+  const char* label;
+  double rho;
+  unsigned m;
+};
+
+void run_case(const Case& c, const ksw::bench::Options& opt) {
+  const double p = c.rho / static_cast<double>(c.m);
+
+  ksw::sim::NetworkConfig cfg;
+  cfg.k = 2;
+  cfg.stages = 12;
+  cfg.p = p;
+  cfg.service = ksw::sim::ServiceSpec::deterministic(c.m);
+  cfg.total_checkpoints = {3, 6, 9, 12};
+  cfg.seed = opt.seed;
+  cfg.warmup_cycles = opt.cycles(5'000);
+  cfg.measure_cycles = opt.cycles(c.rho >= 0.8 ? 80'000 : 40'000);
+  const auto r = ksw::sim::run_network(cfg);
+
+  ksw::core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = p;
+  spec.service = std::make_shared<ksw::core::DeterministicService>(c.m);
+  const ksw::core::LaterStages ls(spec);
+
+  ksw::tables::Table table(
+      std::string(c.label) + ": comparison of predictions to simulations "
+      "(k=2, p=" + ksw::tables::format_number(p, 4) +
+      ", m=" + std::to_string(c.m) + ")",
+      {"stages", "sim mean", "sim var", "pred mean", "pred var"});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned n = 3 * (static_cast<unsigned>(i) + 1);
+    const ksw::core::TotalDelay td(ls, n);
+    table.begin_row(std::to_string(n) + " stages")
+        .add_number(r.total_wait[i].mean(), 3)
+        .add_number(r.total_wait[i].variance(), 3)
+        .add_number(td.mean_total(), 3)
+        .add_number(td.variance_total(), 3);
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ksw::bench::parse_options(argc, argv);
+  const Case cases[] = {
+      {"Table VII", 0.2, 1},  {"Table VIII", 0.2, 4}, {"Table IX", 0.5, 1},
+      {"Table X", 0.5, 4},    {"Table XI", 0.8, 1},   {"Table XII", 0.8, 4},
+  };
+  for (const auto& c : cases) run_case(c, opt);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Message-size trade-off (paper Section VI): "while using larger messages
+// may save the overhead of duplicating the same routing information over
+// several packets, it may dramatically increase delays in all but very
+// lightly loaded networks."
+//
+// We model a fixed-size data transfer of 16 flits plus a per-message
+// routing header of 1 flit, split into messages of m flits each. Larger m
+// means fewer headers (lower traffic intensity) but waiting grows linearly
+// and variance quadratically in m.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "core/later_stages.hpp"
+#include "core/total_delay.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+constexpr unsigned kStages = 10;   // 1024-PE machine, 2x2 switches
+constexpr double kDataFlits = 16;  // payload per transfer
+constexpr double kHeader = 1;      // routing header per message
+
+void run(double payload_load) {
+  ksw::tables::Table table(
+      "Transfer of 16 data flits, header 1 flit/message, payload load " +
+          ksw::tables::format_number(payload_load, 2) +
+          " (1024 PEs, 2x2 switches)",
+      {"m (flits)", "msgs", "rho", "E[wait/msg]", "sd[wait/msg]",
+       "E[transfer latency]"});
+
+  for (unsigned m : {2u, 4u, 8u, 16u}) {
+    const double payload = static_cast<double>(m) - kHeader;
+    const double messages = kDataFlits / payload;  // messages per transfer
+    // Message injection rate chosen so the *payload* throughput per port
+    // is `payload_load` flits/cycle; the per-message header inflates the
+    // traffic intensity rho = p*m = load * m/(m-1), hurting small m.
+    const double p = payload_load / payload;
+    const double rho = p * static_cast<double>(m);
+    if (rho >= 0.95) {
+      table.begin_row(std::to_string(m))
+          .add_cell(ksw::tables::format_number(messages, 2))
+          .add_number(rho, 3)
+          .add_cell("saturated")
+          .add_blank()
+          .add_blank();
+      continue;
+    }
+
+    ksw::core::NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = p;
+    spec.service = std::make_shared<ksw::core::DeterministicService>(m);
+    const ksw::core::LaterStages ls(spec);
+    const ksw::core::TotalDelay td(ls, kStages);
+
+    // A transfer completes when its last message arrives. The port drains
+    // one m-flit message per m cycles, so the last message leaves the
+    // source ~(messages-1)*m cycles after the first, then queues through
+    // the network like any other message.
+    const double serialization = (messages - 1.0) * static_cast<double>(m);
+    const double latency = serialization + td.mean_total_delay();
+    table.begin_row(std::to_string(m))
+        .add_cell(ksw::tables::format_number(messages, 2))
+        .add_number(rho, 3)
+        .add_number(td.mean_total(), 2)
+        .add_number(std::sqrt(td.variance_total()), 2)
+        .add_number(latency, 2);
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Section VI's warning quantified: at fixed traffic "
+               "intensity, per-message\nwaiting grows linearly in m and its "
+               "variance quadratically -- but tiny\nmessages duplicate the "
+               "routing header and inflate rho. The sweet spot\nmoves toward "
+               "small m as load rises.\n\n";
+  for (double load : {0.1, 0.3, 0.45}) run(load);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// RP3-style private-memory traffic study (paper Section III-A-3 and IV-D).
+//
+// In the IBM RP3, each processor's memory module sits behind the network
+// at "its own" output, so a tunable fraction q of requests go to a favored
+// destination. This example sweeps q and shows how locality cuts both the
+// mean and the variance of network waiting — validated against the
+// cycle-accurate simulator.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "core/later_stages.hpp"
+#include "core/total_delay.hpp"
+#include "sim/network.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+constexpr unsigned kStages = 6;  // 64-PE machine with 2x2 switches
+constexpr double kLoad = 0.5;
+
+void run() {
+  ksw::tables::Table table(
+      "Private-memory locality sweep (64 PEs, 2x2 switches, load 0.5)",
+      {"q", "E[total wait] est", "E[total wait] sim", "sd est", "sd sim",
+       "p99 est"});
+
+  for (double q : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    ksw::core::NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = kLoad;
+    spec.q = q;
+    const ksw::core::LaterStages ls(spec);
+    const ksw::core::TotalDelay td(ls, kStages);
+    const auto gamma = td.gamma_approximation();
+
+    ksw::sim::NetworkConfig cfg;
+    cfg.k = 2;
+    cfg.stages = kStages;
+    cfg.p = kLoad;
+    cfg.q = q;
+    cfg.total_checkpoints = {kStages};
+    cfg.warmup_cycles = 2'000;
+    cfg.measure_cycles = 30'000;
+    const auto r = ksw::sim::run_network(cfg);
+
+    table.begin_row(ksw::tables::format_number(q, 1))
+        .add_number(td.mean_total(), 3)
+        .add_number(r.total_wait[0].mean(), 3)
+        .add_number(std::sqrt(td.variance_total()), 3)
+        .add_number(std::sqrt(r.total_wait[0].variance()), 3)
+        .add_number(gamma.quantile(0.99), 2);
+  }
+  table.print(std::cout);
+  std::cout << "\nLocality (higher q) removes contention: at q=0.8 the "
+               "network is nearly\nconflict-free, and the tail (p99) "
+               "shrinks even faster than the mean --\nexactly why RP3 "
+               "paired each processor with a local memory module.\n";
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Design-space exploration for an Ultracomputer-style shared-memory
+// machine — the use case that motivated the paper (its formulas "have been
+// heavily used in designing both the NYU Ultracomputer and RP3").
+//
+// For machine sizes 64..4096 PEs we compare 2x2, 4x4, and 8x8 switches at
+// several loads, reporting expected memory-access waiting time, its
+// standard deviation, and the 99th percentile from the gamma
+// approximation. The variance matters because "the speed of the slowest
+// processor dictates the system speed" (Section I).
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "core/later_stages.hpp"
+#include "core/total_delay.hpp"
+#include "tables/table.hpp"
+
+namespace {
+
+void explore(unsigned pes, double load) {
+  ksw::tables::Table table(
+      "Network to memory for " + std::to_string(pes) + " PEs at load " +
+          ksw::tables::format_number(load, 2) +
+          " (unit-size messages, one-way trip)",
+      {"switch", "stages", "E[wait]", "sd[wait]", "p99 wait",
+       "E[delay]"});
+  for (unsigned k : {2u, 4u, 8u}) {
+    // Number of stages to span all PEs: ceil(log_k(pes)).
+    unsigned stages = 0;
+    unsigned long long span = 1;
+    while (span < pes) {
+      span *= k;
+      ++stages;
+    }
+    if (span != pes) continue;  // only exact powers make a delta network
+
+    ksw::core::NetworkTrafficSpec spec;
+    spec.k = k;
+    spec.p = load;
+    const ksw::core::LaterStages ls(spec);
+    const ksw::core::TotalDelay td(ls, stages);
+    const auto gamma = td.gamma_approximation();
+    table.begin_row(std::to_string(k) + "x" + std::to_string(k))
+        .add_cell(std::to_string(stages))
+        .add_number(td.mean_total(), 3)
+        .add_number(std::sqrt(td.variance_total()), 3)
+        .add_number(gamma.quantile(0.99), 2)
+        .add_number(td.mean_total_delay(), 2);
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ultracomputer-style design study: larger switches mean "
+               "fewer stages\nbut more contention per stage; the crossover "
+               "depends on load.\n\n";
+  for (unsigned pes : {64u, 512u, 4096u})
+    for (double load : {0.25, 0.5, 0.75}) explore(pes, load);
+  return 0;
+}

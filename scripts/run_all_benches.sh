@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure and the extension studies.
+#
+#   scripts/run_all_benches.sh [build-dir] [extra bench args...]
+#
+# Pass --quick after the build dir for a 10x shorter smoke run, e.g.
+#   scripts/run_all_benches.sh build --quick
+set -euo pipefail
+
+build_dir="${1:-build}"
+shift || true
+
+benches=(
+  table01_rho_sweep
+  table02_switch_size
+  table03_message_size
+  table04_multisize
+  table05_nonuniform
+  table06_correlations
+  table07_12_totals
+  fig3_8_distributions
+  ext_bulk_arrivals
+  ext_geometric_mm1
+  ext_finite_buffers
+  ext_calibration
+  ext_convolution
+  ext_hotspot
+  perf_simulator
+)
+
+for b in "${benches[@]}"; do
+  echo "===== bench/$b ====="
+  if [ "$b" = perf_simulator ]; then
+    "$build_dir/bench/$b"
+  else
+    "$build_dir/bench/$b" "$@"
+  fi
+  echo
+done

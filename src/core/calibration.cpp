@@ -1,0 +1,92 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ksw::core {
+
+StageObservation limit_estimate(std::span<const StageObservation> stages,
+                                unsigned tail) {
+  if (stages.empty())
+    throw std::invalid_argument("limit_estimate: no observations");
+  const std::size_t use = std::min<std::size_t>(tail, stages.size());
+  StageObservation out;
+  out.stage = stages.back().stage;
+  for (std::size_t i = stages.size() - use; i < stages.size(); ++i) {
+    out.mean += stages[i].mean;
+    out.variance += stages[i].variance;
+  }
+  out.mean /= static_cast<double>(use);
+  out.variance /= static_cast<double>(use);
+  return out;
+}
+
+double fit_mean_coeff(double w1, double w_inf, double rho, unsigned k) {
+  if (!(w1 > 0.0) || !(rho > 0.0))
+    throw std::invalid_argument("fit_mean_coeff: w1 and rho must be > 0");
+  return (w_inf / w1 - 1.0) * static_cast<double>(k) / rho;
+}
+
+double fit_stage_rate(std::span<const StageObservation> stages, double w1,
+                      double w_inf) {
+  // Model: w_i = w1 + (w_inf - w1)(1 - a^{i-1})
+  //   =>  a^{i-1} = (w_inf - w_i) / (w_inf - w1).
+  // Log-linear least squares through the origin on (i-1, log fraction).
+  const double span_w = w_inf - w1;
+  if (std::abs(span_w) < 1e-15)
+    throw std::invalid_argument("fit_stage_rate: w_inf == w1");
+  double sxx = 0.0, sxy = 0.0;
+  std::size_t used = 0;
+  for (const auto& obs : stages) {
+    if (obs.stage < 2) continue;
+    const double frac = (w_inf - obs.mean) / span_w;
+    if (!(frac > 1e-12) || frac >= 1.0) continue;  // noise outside model
+    const double x = static_cast<double>(obs.stage - 1);
+    const double y = std::log(frac);
+    sxx += x * x;
+    sxy += x * y;
+    ++used;
+  }
+  if (used == 0)
+    throw std::invalid_argument("fit_stage_rate: no usable observations");
+  return std::exp(sxy / sxx);
+}
+
+std::pair<double, double> fit_var_coeffs(std::span<const VarPoint> points,
+                                         unsigned k) {
+  if (points.size() < 2)
+    throw std::invalid_argument("fit_var_coeffs: need >= 2 points");
+  // Least squares for y = c1 x1 + c2 x2 with x1 = rho/k, x2 = rho^2/k.
+  const double kd = static_cast<double>(k);
+  double a11 = 0, a12 = 0, a22 = 0, b1 = 0, b2 = 0;
+  for (const auto& pt : points) {
+    if (!(pt.v1 > 0.0))
+      throw std::invalid_argument("fit_var_coeffs: v1 must be > 0");
+    const double x1 = pt.rho / kd;
+    const double x2 = pt.rho * pt.rho / kd;
+    const double y = pt.v_inf / pt.v1 - 1.0;
+    a11 += x1 * x1;
+    a12 += x1 * x2;
+    a22 += x2 * x2;
+    b1 += x1 * y;
+    b2 += x2 * y;
+  }
+  const double det = a11 * a22 - a12 * a12;
+  if (std::abs(det) < 1e-15)
+    throw std::invalid_argument("fit_var_coeffs: singular system");
+  return {(b1 * a22 - b2 * a12) / det, (a11 * b2 - a12 * b1) / det};
+}
+
+double fit_linear_slope(std::span<const SlopePoint> points) {
+  double sxx = 0.0, sxy = 0.0;
+  for (const auto& pt : points) {
+    sxx += pt.x * pt.x;
+    sxy += pt.x * (pt.ratio - 1.0);
+  }
+  if (!(sxx > 0.0))
+    throw std::invalid_argument("fit_linear_slope: no nonzero x");
+  return sxy / sxx;
+}
+
+}  // namespace ksw::core

@@ -1,0 +1,58 @@
+// Re-derivation of the Section-IV interpolation constants from simulation
+// output — the paper's own methodology ("We use simulations to estimate
+// r(1/2), and then simply linearly interpolate").
+//
+// Each fit consumes per-stage statistics measured by the simulator and
+// returns the constant(s) of the corresponding formula, so users can
+// recalibrate LaterStageOptions for switch sizes or loads outside the
+// paper's grid, or tighten the fit with longer simulations.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ksw::core {
+
+/// Measured waiting statistics at one network stage (1-based).
+struct StageObservation {
+  unsigned stage = 1;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Estimate the limiting statistics w_inf / v_inf from the deepest stages
+/// of a simulation (average of the last `tail` stages).
+[[nodiscard]] StageObservation limit_estimate(
+    std::span<const StageObservation> stages, unsigned tail = 2);
+
+/// Fit `mean_coeff` of eq. 11 from one (rho, k) operating point:
+/// w_inf/w1 = 1 + mean_coeff * rho / k.
+[[nodiscard]] double fit_mean_coeff(double w1, double w_inf, double rho,
+                                    unsigned k);
+
+/// Fit the geometric approach rate `a` of eq. 12 by log-linear regression
+/// of 1 - (w_i - w1-anchored ratio)/Delta over stages 2..end.
+[[nodiscard]] double fit_stage_rate(std::span<const StageObservation> stages,
+                                    double w1, double w_inf);
+
+/// Fit (var_lin, var_quad) of eq. 13 by least squares over operating
+/// points: v_inf/v1 - 1 = var_lin * rho/k + var_quad * rho^2/k.
+struct VarPoint {
+  double rho = 0.0;
+  double v1 = 0.0;
+  double v_inf = 0.0;
+};
+[[nodiscard]] std::pair<double, double> fit_var_coeffs(
+    std::span<const VarPoint> points, unsigned k);
+
+/// Fit the slope of a "1 + slope * x" correction by least squares through
+/// the origin-shifted points (x_i, ratio_i - 1). Used for the Section IV-D
+/// linear-in-q factors.
+struct SlopePoint {
+  double x = 0.0;
+  double ratio = 1.0;
+};
+[[nodiscard]] double fit_linear_slope(std::span<const SlopePoint> points);
+
+}  // namespace ksw::core

@@ -1,0 +1,215 @@
+#include "core/closed_forms.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ksw::core::closed {
+
+namespace {
+
+void require_stable(double rho, const char* what) {
+  if (!(rho > 0.0 && rho < 1.0))
+    throw std::invalid_argument(std::string(what) +
+                                ": traffic intensity outside (0,1)");
+}
+
+double uniform_lambda(unsigned k, unsigned s, double p) {
+  return static_cast<double>(k) * p / static_cast<double>(s);
+}
+
+}  // namespace
+
+double eq2_mean(double lambda, double m, double r2, double u2) {
+  require_stable(lambda * m, "eq2_mean");
+  return (m * r2 + lambda * lambda * u2) /
+         (2.0 * lambda * (1.0 - m * lambda));
+}
+
+double eq3_variance(double lambda, double m, double r2, double r3, double u2,
+                    double u3) {
+  const double rho = lambda * m;
+  require_stable(rho, "eq3_variance");
+  // Taylor coefficients of C(z) = R(U(z)) and U(z) at z = 1:
+  //   C(1+e) = 1 + rho e + c2 e^2 + c3 e^3, U(1+e) = 1 + m e + v2 e^2 + ...
+  const double c2 = (r2 * m * m + lambda * u2) / 2.0;
+  const double c3 = (r3 * m * m * m + 3.0 * r2 * m * u2 + lambda * u3) / 6.0;
+  const double v2 = u2 / 2.0;
+  const double v3 = u3 / 6.0;
+  const double d = 1.0 - rho;
+
+  // t(1+e) = (1 + alpha e + beta e^2)(1 + gamma e + delta e^2) + O(e^3),
+  // from Theorem 1 with one factor of e cancelled in each ratio.
+  const double alpha = c2 / d;
+  const double beta = c3 / d + c2 * c2 / (d * d);
+  const double gamma = c2 / rho - v2 / m;
+  const double delta = c3 / rho - v3 / m - (v2 / m) * gamma;
+
+  const double mean = alpha + gamma;                       // t'(1)
+  const double fact2 = 2.0 * (beta + alpha * gamma + delta);  // t''(1)
+  return fact2 + mean - mean * mean;
+}
+
+double eq4_mean(double lambda, double r2) {
+  require_stable(lambda, "eq4_mean");
+  return r2 / (2.0 * lambda * (1.0 - lambda));
+}
+
+double eq5_variance(double lambda, double r2, double r3) {
+  require_stable(lambda, "eq5_variance");
+  const double num = 2.0 * (3.0 * r2 + 2.0 * r3) * lambda * (1.0 - lambda) -
+                     3.0 * (1.0 - 2.0 * lambda) * r2 * r2;
+  return num / (12.0 * lambda * lambda * (1.0 - lambda) * (1.0 - lambda));
+}
+
+double eq6_mean(unsigned k, unsigned s, double p) {
+  const double lambda = uniform_lambda(k, s, p);
+  require_stable(lambda, "eq6_mean");
+  const double kd = static_cast<double>(k);
+  return (1.0 - 1.0 / kd) * lambda / (2.0 * (1.0 - lambda));
+}
+
+double eq7_variance(unsigned k, unsigned s, double p) {
+  const double lambda = uniform_lambda(k, s, p);
+  require_stable(lambda, "eq7_variance");
+  const double ik = 1.0 / static_cast<double>(k);
+  const double num =
+      (1.0 - ik) * lambda *
+      (6.0 - 5.0 * lambda * (1.0 + ik) + 2.0 * lambda * lambda * (1.0 + ik));
+  return num / (12.0 * (1.0 - lambda) * (1.0 - lambda));
+}
+
+double bulk_r2(unsigned k, unsigned s, double p, unsigned b) {
+  const double bd = static_cast<double>(b);
+  const double lambda = bd * uniform_lambda(k, s, p);
+  const double ik = 1.0 / static_cast<double>(k);
+  return lambda * (bd - 1.0 + (1.0 - ik) * lambda);
+}
+
+double bulk_r3(unsigned k, unsigned s, double p, unsigned b) {
+  const double bd = static_cast<double>(b);
+  const double lambda = bd * uniform_lambda(k, s, p);
+  const double ik = 1.0 / static_cast<double>(k);
+  return lambda * ((bd - 1.0) * (bd - 2.0) +
+                   3.0 * lambda * (1.0 - ik) * (bd - 1.0) +
+                   lambda * lambda * (1.0 - ik) * (1.0 - 2.0 * ik));
+}
+
+double bulk_mean(unsigned k, unsigned s, double p, unsigned b) {
+  const double bd = static_cast<double>(b);
+  const double lambda = bd * uniform_lambda(k, s, p);
+  require_stable(lambda, "bulk_mean");
+  const double ik = 1.0 / static_cast<double>(k);
+  return (bd - 1.0 + (1.0 - ik) * lambda) / (2.0 * (1.0 - lambda));
+}
+
+double bulk_variance(unsigned k, unsigned s, double p, unsigned b) {
+  const double lambda = static_cast<double>(b) * uniform_lambda(k, s, p);
+  require_stable(lambda, "bulk_variance");
+  return eq5_variance(lambda, bulk_r2(k, s, p, b), bulk_r3(k, s, p, b));
+}
+
+namespace {
+
+// Factorial moments of the favorite-output arrival process (III-A-3):
+// one input with hit probability pf = p(q + (1-q)/k), k-1 inputs with
+// pn = p(1-q)/k, batches of b. Hand-expanded Leibniz products, independent
+// of the pgf::MomentTuple machinery.
+struct NonuniformMoments {
+  double lambda, r2, r3;
+};
+
+NonuniformMoments nonuniform_moments(unsigned k, double p, double q,
+                                     unsigned b) {
+  const double kd = static_cast<double>(k);
+  const double bd = static_cast<double>(b);
+  const double pf = p * (q + (1.0 - q) / kd);
+  const double pn = p * (1.0 - q) / kd;
+
+  // Factor moments for (1 - pi + pi z^b): f' = pi b, f'' = pi b(b-1), ...
+  const auto f1 = [bd](double pi) { return pi * bd; };
+  const auto f2 = [bd](double pi) { return pi * bd * (bd - 1.0); };
+  const auto f3 = [bd](double pi) {
+    return pi * bd * (bd - 1.0) * (bd - 2.0);
+  };
+
+  // Normal part N = (1 - pn + pn z^b)^{k-1}.
+  const double n1 = (kd - 1.0) * f1(pn);
+  const double n2 = (kd - 1.0) * f2(pn) + (kd - 1.0) * (kd - 2.0) *
+                                              f1(pn) * f1(pn);
+  const double n3 = (kd - 1.0) * f3(pn) +
+                    3.0 * (kd - 1.0) * (kd - 2.0) * f1(pn) * f2(pn) +
+                    (kd - 1.0) * (kd - 2.0) * (kd - 3.0) * f1(pn) * f1(pn) *
+                        f1(pn);
+
+  // Full R = F * N, both equal to 1 at z = 1.
+  NonuniformMoments m;
+  m.lambda = f1(pf) + n1;
+  m.r2 = f2(pf) + 2.0 * f1(pf) * n1 + n2;
+  m.r3 = f3(pf) + 3.0 * f2(pf) * n1 + 3.0 * f1(pf) * n2 + n3;
+  return m;
+}
+
+}  // namespace
+
+double nonuniform_mean(unsigned k, double p, double q, unsigned b) {
+  const NonuniformMoments m = nonuniform_moments(k, p, q, b);
+  require_stable(m.lambda, "nonuniform_mean");
+  return eq4_mean(m.lambda, m.r2);
+}
+
+double nonuniform_variance(unsigned k, double p, double q) {
+  const NonuniformMoments m = nonuniform_moments(k, p, q, 1);
+  require_stable(m.lambda, "nonuniform_variance");
+  return eq5_variance(m.lambda, m.r2, m.r3);
+}
+
+namespace {
+
+// R moments for uniform single arrivals: R(z) = (1 - p/s + p z/s)^k.
+void uniform_r_moments(unsigned k, unsigned s, double p, double& lambda,
+                       double& r2, double& r3) {
+  const double kd = static_cast<double>(k);
+  lambda = uniform_lambda(k, s, p);
+  r2 = lambda * lambda * (1.0 - 1.0 / kd);
+  r3 = lambda * lambda * lambda * (1.0 - 1.0 / kd) * (1.0 - 2.0 / kd);
+}
+
+}  // namespace
+
+double geometric_mean(unsigned k, unsigned s, double p, double mu) {
+  double lambda, r2, r3;
+  uniform_r_moments(k, s, p, lambda, r2, r3);
+  (void)r3;
+  const double m = 1.0 / mu;
+  const double u2 = 2.0 * (1.0 - mu) / (mu * mu);
+  return eq2_mean(lambda, m, r2, u2);
+}
+
+double geometric_variance(unsigned k, unsigned s, double p, double mu) {
+  double lambda, r2, r3;
+  uniform_r_moments(k, s, p, lambda, r2, r3);
+  const double m = 1.0 / mu;
+  const double u2 = 2.0 * (1.0 - mu) / (mu * mu);
+  const double u3 = 6.0 * (1.0 - mu) * (1.0 - mu) / (mu * mu * mu);
+  return eq3_variance(lambda, m, r2, r3, u2, u3);
+}
+
+double eq8_mean(unsigned k, unsigned s, double p, std::uint32_t m) {
+  const double lambda = uniform_lambda(k, s, p);
+  const double md = static_cast<double>(m);
+  require_stable(md * lambda, "eq8_mean");
+  const double ik = 1.0 / static_cast<double>(k);
+  return md * lambda * (md - ik) / (2.0 * (1.0 - md * lambda));
+}
+
+double eq9_variance(unsigned k, unsigned s, double p, std::uint32_t m) {
+  double lambda, r2, r3;
+  uniform_r_moments(k, s, p, lambda, r2, r3);
+  const double md = static_cast<double>(m);
+  require_stable(md * lambda, "eq9_variance");
+  const double u2 = md * (md - 1.0);
+  const double u3 = md * (md - 1.0) * (md - 2.0);
+  return eq3_variance(lambda, md, r2, r3, u2, u3);
+}
+
+}  // namespace ksw::core::closed

@@ -1,0 +1,98 @@
+// The paper's printed closed-form results (Sections II-III), implemented
+// verbatim as explicit formulas.
+//
+// These deliberately do NOT reuse the generic transform machinery in
+// first_stage.cpp — they are an independent implementation path, and the
+// test suite asserts both paths agree to ~1e-9 across wide parameter
+// sweeps. Equation numbers follow the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace ksw::core::closed {
+
+// --------------------------------------------------------------------------
+// General arrival/service moments (Section II)
+// --------------------------------------------------------------------------
+
+/// Eq. (2): E(w) = (m R''(1) + lambda^2 U''(1)) / (2 lambda (1 - m lambda)).
+[[nodiscard]] double eq2_mean(double lambda, double m, double r2, double u2);
+
+/// Eq. (3): Var(w) for general R and U. The printed equation is partially
+/// illegible in the source scan; this is the same quantity re-derived from
+/// Theorem 1 (expansion of t(z) at z = 1) and written as an explicit
+/// formula in lambda, m, R''(1), R'''(1), U''(1), U'''(1). It reduces
+/// exactly to the legible special cases (5), (7), and (9).
+[[nodiscard]] double eq3_variance(double lambda, double m, double r2,
+                                  double r3, double u2, double u3);
+
+// --------------------------------------------------------------------------
+// Service time one (Section III-A)
+// --------------------------------------------------------------------------
+
+/// Eq. (4): E(w) = R''(1) / (2 lambda (1 - lambda)), unit service.
+[[nodiscard]] double eq4_mean(double lambda, double r2);
+
+/// Eq. (5): Var(w) = (2(3R''+2R''') lambda(1-lambda) - 3(1-2 lambda) R''^2)
+///                   / (12 lambda^2 (1-lambda)^2), unit service.
+[[nodiscard]] double eq5_variance(double lambda, double r2, double r3);
+
+/// Eq. (6): uniform traffic, single arrivals, unit service;
+/// lambda = k p / s. E(w) = (1 - 1/k) lambda / (2 (1 - lambda)).
+[[nodiscard]] double eq6_mean(unsigned k, unsigned s, double p);
+
+/// Eq. (7): Var(w) = (1-1/k) lambda (6 - 5 lambda (1+1/k)
+///                    + 2 lambda^2 (1+1/k)) / (12 (1-lambda)^2).
+[[nodiscard]] double eq7_variance(unsigned k, unsigned s, double p);
+
+// --------------------------------------------------------------------------
+// Bulk arrivals (Section III-A-2): constant batches of b unit messages
+// --------------------------------------------------------------------------
+
+/// R''(1) = lambda (b - 1 + (1 - 1/k) lambda), lambda = b k p / s.
+[[nodiscard]] double bulk_r2(unsigned k, unsigned s, double p, unsigned b);
+
+/// R'''(1) = lambda ((b-1)(b-2) + 3 lambda (1-1/k)(b-1)
+///           + lambda^2 (1-1/k)(1-2/k)).
+[[nodiscard]] double bulk_r3(unsigned k, unsigned s, double p, unsigned b);
+
+/// E(w) = (b - 1 + (1 - 1/k) lambda) / (2 (1 - lambda)).
+[[nodiscard]] double bulk_mean(unsigned k, unsigned s, double p, unsigned b);
+
+/// Var(w) via eq. (5) with the bulk moments.
+[[nodiscard]] double bulk_variance(unsigned k, unsigned s, double p,
+                                   unsigned b);
+
+// --------------------------------------------------------------------------
+// Nonuniform "favorite output" traffic (Section III-A-3), k = s
+// --------------------------------------------------------------------------
+
+/// E(w) with favorite-output probability q and batch size b.
+[[nodiscard]] double nonuniform_mean(unsigned k, double p, double q,
+                                     unsigned b = 1);
+
+/// Var(w) for b = 1 (the case the paper prints).
+[[nodiscard]] double nonuniform_variance(unsigned k, double p, double q);
+
+// --------------------------------------------------------------------------
+// Geometric service (Section III-B), uniform single arrivals
+// --------------------------------------------------------------------------
+
+[[nodiscard]] double geometric_mean(unsigned k, unsigned s, double p,
+                                    double mu);
+[[nodiscard]] double geometric_variance(unsigned k, unsigned s, double p,
+                                        double mu);
+
+// --------------------------------------------------------------------------
+// Constant service time m (Section III-D-1), uniform single arrivals
+// --------------------------------------------------------------------------
+
+/// Eq. (8): E(w) = m lambda (m - 1/k) / (2 (1 - m lambda)).
+[[nodiscard]] double eq8_mean(unsigned k, unsigned s, double p,
+                              std::uint32_t m);
+
+/// Eq. (9): Var(w), via eq. (3) with deterministic service moments.
+[[nodiscard]] double eq9_variance(unsigned k, unsigned s, double p,
+                                  std::uint32_t m);
+
+}  // namespace ksw::core::closed

@@ -1,0 +1,169 @@
+#include "core/first_stage.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace ksw::core {
+
+namespace {
+
+// Length of the Taylor expansions around z = 1 (epsilon-series). Four terms
+// (eps^0..eps^3) give t'(1), t''(1), t'''(1).
+constexpr std::size_t kEpsTerms = 4;
+
+pgf::Series eps_series(std::array<double, kEpsTerms> coeffs) {
+  pgf::Series s(kEpsTerms);
+  for (std::size_t i = 0; i < kEpsTerms; ++i) s[i] = coeffs[i];
+  return s;
+}
+
+}  // namespace
+
+double WaitingMoments::skewness() const noexcept {
+  const double second = factorial2 + mean;
+  const double third = factorial3 + 3.0 * factorial2 + mean;
+  const double mu3 =
+      third - 3.0 * mean * second + 2.0 * mean * mean * mean;
+  const double sigma = std::sqrt(variance);
+  return sigma > 0.0 ? mu3 / (sigma * sigma * sigma) : 0.0;
+}
+
+FirstStage::FirstStage(QueueSpec spec) : spec_(std::move(spec)) {
+  if (!spec_.arrivals || !spec_.service)
+    throw std::invalid_argument("FirstStage: null model");
+  lambda_ = spec_.arrivals->lambda();
+  m_ = spec_.service->mean_service();
+  if (!(lambda_ > 0.0))
+    throw std::invalid_argument("FirstStage: arrival rate must be positive");
+  if (!(lambda_ * m_ < 1.0))
+    throw std::invalid_argument(
+        "FirstStage: traffic intensity rho = lambda*m must be < 1");
+}
+
+WaitingMoments FirstStage::moments() const {
+  const pgf::MomentTuple R = spec_.arrivals->moments();
+  const pgf::MomentTuple U = spec_.service->moments();
+  // C(z) = R(U(z)); factorial derivatives at 1 via Faa di Bruno.
+  const pgf::MomentTuple C = pgf::MomentTuple::compose(R, U);
+
+  // Taylor coefficients at z = 1 + eps:
+  //   C(1+eps) = 1 + c1 eps + c2 eps^2 + c3 eps^3 + c4 eps^4, c_i = C^(i)(1)/i!
+  const double c1 = C.d1, c2 = C.d2 / 2.0, c3 = C.d3 / 6.0, c4 = C.d4 / 24.0;
+  const double u1 = U.d1, u2 = U.d2 / 2.0, u3 = U.d3 / 6.0, u4 = U.d4 / 24.0;
+
+  // t(z) = (1-rho)/lambda * A(z) * B(z), with (after cancelling one factor
+  // of eps from numerator and denominator of each ratio):
+  //   A = (1-z)/(C(z)-z)      ->  -1 / (c1-1 + c2 eps + c3 eps^2 + c4 eps^3)
+  //   B = (1-C(z))/(1-U(z))   ->  (c1 + c2 eps + ...)/(u1 + u2 eps + ...)
+  const pgf::Series a =
+      pgf::Series::divide(eps_series({-1.0, 0.0, 0.0, 0.0}),
+                          eps_series({c1 - 1.0, c2, c3, c4}));
+  const pgf::Series b = pgf::Series::divide(eps_series({c1, c2, c3, c4}),
+                                            eps_series({u1, u2, u3, u4}));
+  pgf::Series t = pgf::Series::mul(a, b);
+  t *= (1.0 - lambda_ * m_) / lambda_;
+
+  // t(1+eps) = 1 + t'(1) eps + t''(1)/2 eps^2 + t'''(1)/6 eps^3.
+  WaitingMoments out;
+  out.mean = t[1];
+  out.factorial2 = 2.0 * t[2];
+  out.factorial3 = 6.0 * t[3];
+  out.variance = out.factorial2 + out.mean - out.mean * out.mean;
+  return out;
+}
+
+std::vector<double> FirstStage::distribution(std::size_t length) const {
+  if (length == 0)
+    throw std::invalid_argument("FirstStage::distribution: length == 0");
+  const pgf::Series u = spec_.service->series(length);
+  const pgf::DiscreteDistribution r_pmf = spec_.arrivals->distribution();
+  const pgf::Series c = pgf::Series::compose_polynomial(r_pmf.pmf(), u);
+
+  // Every factor of t(z) vanishes at z = 1; dividing the raw factors
+  // leaves a non-decaying round-off mode in the tail. Deflate the z = 1
+  // root analytically first:
+  //   (1-C)/(1-z) = Chat, (1-U)/(1-z) = Uhat  (survival-sum series),
+  //   (C-z)/(z-1) = D                          (synthetic division),
+  // giving the well-conditioned form
+  //   t(z) = -(1-rho)/lambda * Chat / (D * Uhat).
+  pgf::Series chat(length);
+  pgf::Series uhat(length);
+  {
+    double csum = 0.0, usum = 0.0;
+    for (std::size_t j = 0; j < length; ++j) {
+      csum += c[j];
+      usum += u[j];
+      chat[j] = 1.0 - csum;  // sum_{i>j} c_i
+      uhat[j] = 1.0 - usum;
+    }
+  }
+  pgf::Series d(length);
+  {
+    // C - z = (z - 1) D  =>  d_0 = -e_0, d_j = d_{j-1} - e_j.
+    double prev = -c[0];
+    d[0] = prev;
+    for (std::size_t j = 1; j < length; ++j) {
+      const double e = c[j] - (j == 1 ? 1.0 : 0.0);
+      prev -= e;
+      d[j] = prev;
+    }
+  }
+  pgf::Series t =
+      pgf::Series::divide(chat, pgf::Series::mul(d, uhat));
+  t *= -(1.0 - lambda_ * m_) / lambda_;
+  return t.coefficients();
+}
+
+std::vector<double> FirstStage::unfinished_work_distribution(
+    std::size_t length) const {
+  if (length == 0)
+    throw std::invalid_argument(
+        "FirstStage::unfinished_work_distribution: length == 0");
+  const pgf::Series u = spec_.service->series(length);
+  const pgf::DiscreteDistribution r_pmf = spec_.arrivals->distribution();
+  const pgf::Series c = pgf::Series::compose_polynomial(r_pmf.pmf(), u);
+
+  // Psi(z) = (1-rho)(1-z)/(C(z)-z) = -(1-rho)/D with (C-z) = (z-1)D,
+  // the same deflation as distribution().
+  pgf::Series d(length);
+  double prev = -c[0];
+  d[0] = prev;
+  for (std::size_t j = 1; j < length; ++j) {
+    const double e = c[j] - (j == 1 ? 1.0 : 0.0);
+    prev -= e;
+    d[j] = prev;
+  }
+  pgf::Series psi = pgf::Series::divide(
+      pgf::Series::constant(-(1.0 - lambda_ * m_), length), d);
+  return psi.coefficients();
+}
+
+double FirstStage::overflow_probability(std::size_t c,
+                                        std::size_t length) const {
+  if (length <= c) length = c + 1;
+  const auto pmf = unfinished_work_distribution(length);
+  double below = 0.0;
+  for (std::size_t j = 0; j <= c; ++j) below += pmf[j];
+  return std::max(0.0, 1.0 - below);
+}
+
+double FirstStage::transform_at(double z) const {
+  if (!(z >= 0.0) || !(z < 1.0))
+    throw std::invalid_argument("FirstStage::transform_at: z outside [0,1)");
+  const double uz = spec_.service->eval(z);
+  const double cz = spec_.arrivals->eval(uz);
+  const double rho = lambda_ * m_;
+  return (1.0 - rho) / lambda_ * (1.0 - z) / (cz - z) * (1.0 - cz) /
+         (1.0 - uz);
+}
+
+double FirstStage::mean_delay() const { return moments().mean + m_; }
+
+double FirstStage::variance_delay() const {
+  const pgf::MomentTuple U = spec_.service->moments();
+  return moments().variance + U.variance();
+}
+
+}  // namespace ksw::core

@@ -1,0 +1,210 @@
+#include "core/later_stages.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/closed_forms.hpp"
+
+namespace ksw::core {
+
+namespace {
+
+std::shared_ptr<const ServiceModel> default_service(
+    std::shared_ptr<const ServiceModel> svc) {
+  if (svc) return svc;
+  return std::make_shared<DeterministicService>(1);
+}
+
+std::shared_ptr<const ArrivalModel> make_arrivals(
+    const NetworkTrafficSpec& spec) {
+  if (spec.q > 0.0)
+    return std::shared_ptr<const ArrivalModel>(
+        make_nonuniform_arrivals(spec.k, spec.p, spec.q, spec.bulk));
+  return std::shared_ptr<const ArrivalModel>(
+      make_bulk_arrivals(spec.k, spec.k, spec.p, spec.bulk));
+}
+
+// Exact first-stage mean/variance for uniform single arrivals with a
+// *real-valued* constant service time mbar — the reference point of the
+// Section IV-C mean-size method. Uses eqs. (2)/(3) with U = z^mbar.
+double det_reference_mean(unsigned k, double lambda, double mbar) {
+  const double kd = static_cast<double>(k);
+  const double r2 = lambda * lambda * (1.0 - 1.0 / kd);
+  const double u2 = mbar * (mbar - 1.0);
+  return closed::eq2_mean(lambda, mbar, r2, u2);
+}
+
+double det_reference_variance(unsigned k, double lambda, double mbar) {
+  const double kd = static_cast<double>(k);
+  const double r2 = lambda * lambda * (1.0 - 1.0 / kd);
+  const double r3 =
+      lambda * lambda * lambda * (1.0 - 1.0 / kd) * (1.0 - 2.0 / kd);
+  const double u2 = mbar * (mbar - 1.0);
+  const double u3 = mbar * (mbar - 1.0) * (mbar - 2.0);
+  return closed::eq3_variance(lambda, mbar, r2, r3, u2, u3);
+}
+
+}  // namespace
+
+double NetworkTrafficSpec::lambda() const {
+  return p * static_cast<double>(bulk);
+}
+
+double NetworkTrafficSpec::mean_service() const {
+  return service ? service->mean_service() : 1.0;
+}
+
+double NetworkTrafficSpec::rho() const { return lambda() * mean_service(); }
+
+QueueSpec NetworkTrafficSpec::first_stage_queue() const {
+  NetworkTrafficSpec copy = *this;
+  copy.service = default_service(copy.service);
+  return QueueSpec{make_arrivals(copy), copy.service};
+}
+
+LaterStages::LaterStages(NetworkTrafficSpec spec, LaterStageOptions opts)
+    : spec_(std::move(spec)), opts_(opts) {
+  spec_.service = default_service(spec_.service);
+  if (spec_.k < 2)
+    throw std::invalid_argument("LaterStages: switch degree k must be >= 2");
+  const FirstStage first(spec_.first_stage_queue());
+  const WaitingMoments w = first.moments();
+  rho_ = spec_.rho();
+  m_ = spec_.mean_service();
+  w1_ = w.mean;
+  v1_ = w.variance;
+}
+
+bool LaterStages::unit_uniform() const noexcept {
+  const auto* det =
+      dynamic_cast<const DeterministicService*>(spec_.service.get());
+  return det != nullptr && det->service_time() == 1 && spec_.bulk == 1 &&
+         spec_.q == 0.0;
+}
+
+double LaterStages::unit_mean(double rho) const {
+  const double kd = static_cast<double>(spec_.k);
+  return (1.0 - 1.0 / kd) * rho / (2.0 * (1.0 - rho));
+}
+
+double LaterStages::unit_variance(double rho) const {
+  const double ik = 1.0 / static_cast<double>(spec_.k);
+  return (1.0 - ik) * rho *
+         (6.0 - 5.0 * rho * (1.0 + ik) + 2.0 * rho * rho * (1.0 + ik)) /
+         (12.0 * (1.0 - rho) * (1.0 - rho));
+}
+
+double LaterStages::mean_limit() const {
+  const double kd = static_cast<double>(spec_.k);
+  const double r = 1.0 + opts_.mean_coeff * rho_ / kd;  // eq. 11 ratio
+
+  const auto* det =
+      dynamic_cast<const DeterministicService*>(spec_.service.get());
+  const bool unit_service = det != nullptr && det->service_time() == 1;
+
+  // Limit for uniform traffic with this service shape and batch size.
+  double limit;
+  if (unit_service && spec_.bulk == 1) {
+    // eq. 11: anchored to the exact uniform first stage, which for unit
+    // service is exactly unit_mean(rho) (eq. 6).
+    limit = r * unit_mean(rho_);
+  } else {
+    // eq. 15, generalized. Interior stages see each first-stage batch as a
+    // back-to-back train occupying m_eff = bulk * mean-service consecutive
+    // cycles, i.e. a unit-service queue on an m_eff-times longer cycle.
+    const double m_eff = m_ * static_cast<double>(spec_.bulk);
+    limit = m_eff * r * unit_mean(rho_);
+    if (det == nullptr) {
+      // Section IV-C: correct by the exactly known first-stage ratio of
+      // the size mixture to its mean-size equivalent (at batch size 1).
+      const double lambda1 = spec_.p;
+      NetworkTrafficSpec mix = spec_;
+      mix.q = 0.0;
+      mix.bulk = 1;
+      const double w1_mix =
+          FirstStage(mix.first_stage_queue()).moments().mean;
+      limit *= w1_mix / det_reference_mean(spec_.k, lambda1, m_);
+    }
+  }
+
+  // Section IV-D: nonuniform traffic scales by the exact first-stage ratio
+  // and the fitted linear-in-q factor.
+  if (spec_.q != 0.0) {
+    NetworkTrafficSpec uniform = spec_;
+    uniform.q = 0.0;
+    const double w1_q0 =
+        FirstStage(uniform.first_stage_queue()).moments().mean;
+    limit *= (w1_ / w1_q0) * (1.0 + opts_.nonuni_mean_slope * spec_.q);
+  }
+  return limit;
+}
+
+double LaterStages::variance_limit() const {
+  const double kd = static_cast<double>(spec_.k);
+
+  const auto* det =
+      dynamic_cast<const DeterministicService*>(spec_.service.get());
+  const bool unit_service = det != nullptr && det->service_time() == 1;
+
+  double limit;
+  if (unit_service && spec_.bulk == 1) {
+    // eq. 13, anchored to the exact uniform first stage (eq. 7).
+    limit = (1.0 + opts_.var_lin * rho_ / kd +
+             opts_.var_quad * rho_ * rho_ / kd) *
+            unit_variance(rho_);
+  } else {
+    // eq. 16, generalized through the effective train size.
+    const double m_eff = m_ * static_cast<double>(spec_.bulk);
+    limit = m_eff * m_eff * (opts_.var_m_base + opts_.var_m_slope * rho_) *
+            unit_variance(rho_);
+    if (det == nullptr) {
+      const double lambda1 = spec_.p;
+      NetworkTrafficSpec mix = spec_;
+      mix.q = 0.0;
+      mix.bulk = 1;
+      const double v1_mix =
+          FirstStage(mix.first_stage_queue()).moments().variance;
+      limit *= v1_mix / det_reference_variance(spec_.k, lambda1, m_);
+    }
+  }
+
+  if (spec_.q != 0.0) {
+    NetworkTrafficSpec uniform = spec_;
+    uniform.q = 0.0;
+    const double v1_q0 =
+        FirstStage(uniform.first_stage_queue()).moments().variance;
+    limit *= (v1_ / v1_q0) * (1.0 + opts_.nonuni_var_slope * spec_.q);
+  }
+  return limit;
+}
+
+double LaterStages::mean_at_stage(unsigned i) const {
+  if (i == 0) throw std::invalid_argument("mean_at_stage: stages are 1-based");
+  if (i == 1) return w1_;
+  if (unit_uniform()) {
+    // eq. 12.
+    const double kd = static_cast<double>(spec_.k);
+    const double approach =
+        1.0 - std::pow(opts_.stage_rate, static_cast<double>(i - 1));
+    return w1_ * (1.0 + opts_.mean_coeff * (rho_ / kd) * approach);
+  }
+  return mean_limit();
+}
+
+double LaterStages::variance_at_stage(unsigned i) const {
+  if (i == 0)
+    throw std::invalid_argument("variance_at_stage: stages are 1-based");
+  if (i == 1) return v1_;
+  if (unit_uniform()) {
+    // eq. 14.
+    const double kd = static_cast<double>(spec_.k);
+    const double approach =
+        1.0 - std::pow(opts_.stage_rate, static_cast<double>(i - 1));
+    return v1_ * (1.0 + (opts_.var_lin * rho_ / kd +
+                         opts_.var_quad * rho_ * rho_ / kd) *
+                            approach);
+  }
+  return variance_limit();
+}
+
+}  // namespace ksw::core

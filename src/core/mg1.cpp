@@ -1,0 +1,30 @@
+#include "core/mg1.hpp"
+
+#include <stdexcept>
+
+namespace ksw::core::mg1 {
+
+Waiting mg1_waiting(double lambda, double s1, double s2, double s3) {
+  const double rho = lambda * s1;
+  if (!(rho > 0.0 && rho < 1.0))
+    throw std::invalid_argument("mg1_waiting: rho outside (0,1)");
+  Waiting w;
+  w.mean = lambda * s2 / (2.0 * (1.0 - rho));
+  const double second = 2.0 * w.mean * w.mean +
+                        lambda * s3 / (3.0 * (1.0 - rho));
+  w.variance = second - w.mean * w.mean;
+  return w;
+}
+
+Waiting mm1_waiting(double lambda, double mu) {
+  if (!(mu > 0.0)) throw std::invalid_argument("mm1_waiting: mu <= 0");
+  const double s1 = 1.0 / mu;
+  return mg1_waiting(lambda, s1, 2.0 * s1 * s1, 6.0 * s1 * s1 * s1);
+}
+
+Waiting md1_waiting(double lambda, double s) {
+  if (!(s > 0.0)) throw std::invalid_argument("md1_waiting: s <= 0");
+  return mg1_waiting(lambda, s, s * s, s * s * s);
+}
+
+}  // namespace ksw::core::mg1

@@ -1,0 +1,27 @@
+// Continuous-time M/G/1 reference formulas (Pollaczek-Khinchine), used for
+// the paper's limit arguments: Section III-C shows the discrete queue with
+// geometric service converges to M/M/1 as the clock is refined, and
+// Section IV-B compares interior stages against M/D/1 in light traffic.
+#pragma once
+
+namespace ksw::core::mg1 {
+
+/// Waiting-time statistics of an M/G/1 queue with arrival rate lambda and
+/// the given service moments (rho = lambda * mean_service < 1).
+struct Waiting {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// General Pollaczek-Khinchine: E(w) = lambda E[S^2] / (2(1-rho));
+/// E(w^2) = 2 E(w)^2 + lambda E[S^3] / (3(1-rho)).
+[[nodiscard]] Waiting mg1_waiting(double lambda, double s1, double s2,
+                                  double s3);
+
+/// M/M/1 with service rate mu.
+[[nodiscard]] Waiting mm1_waiting(double lambda, double mu);
+
+/// M/D/1 with constant service time s.
+[[nodiscard]] Waiting md1_waiting(double lambda, double s);
+
+}  // namespace ksw::core::mg1

@@ -1,0 +1,75 @@
+#include "core/total_delay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ksw::core {
+
+TotalDelay::TotalDelay(LaterStages stages, unsigned n_stages)
+    : stages_(std::move(stages)), n_(n_stages) {
+  if (n_ == 0) throw std::invalid_argument("TotalDelay: n_stages == 0");
+}
+
+double TotalDelay::mean_total() const {
+  double acc = 0.0;
+  for (unsigned i = 1; i <= n_; ++i) acc += stages_.mean_at_stage(i);
+  return acc;
+}
+
+std::pair<double, double> TotalDelay::covariance_decay() const {
+  // The paper writes the decay constants in terms of "mp", i.e. the traffic
+  // intensity rho = m * p (per-input probability times message size).
+  const double rho = stages_.spec().rho();
+  const double kd = static_cast<double>(stages_.spec().k);
+  const double damp = 1.0 - 2.0 * rho / 5.0;
+  const double a = damp * 3.0 * rho / (5.0 * kd);
+  const double b = damp / kd;
+  return {a, b};
+}
+
+double TotalDelay::covariance(unsigned i, unsigned j) const {
+  if (i == 0 || j == 0 || i > n_ || j > n_)
+    throw std::invalid_argument("TotalDelay::covariance: stage out of range");
+  if (i > j) std::swap(i, j);
+  const double vi = stages_.variance_at_stage(i);
+  if (i == j) return vi;
+  const auto [a, b] = covariance_decay();
+  return a * std::pow(b, static_cast<double>(j - i - 1)) * vi;
+}
+
+double TotalDelay::correlation(unsigned i, unsigned j) const {
+  const double denom = std::sqrt(covariance(i, i) * covariance(j, j));
+  return denom > 0.0 ? covariance(i, j) / denom : 0.0;
+}
+
+double TotalDelay::variance_total(bool with_covariance) const {
+  const auto [a, b] = covariance_decay();
+  double acc = 0.0;
+  for (unsigned i = 1; i <= n_; ++i) {
+    const double vi = stages_.variance_at_stage(i);
+    double factor = 1.0;
+    if (with_covariance && i < n_) {
+      // 1 + 2a(1 + b + ... + b^{n-i-1}) = 1 + 2a(1-b^{n-i})/(1-b).
+      const double geo =
+          (1.0 - std::pow(b, static_cast<double>(n_ - i))) / (1.0 - b);
+      factor += 2.0 * a * geo;
+    }
+    acc += vi * factor;
+  }
+  return acc;
+}
+
+stats::GammaDistribution TotalDelay::gamma_approximation() const {
+  return stats::GammaDistribution::from_moments(mean_total(),
+                                                variance_total());
+}
+
+double TotalDelay::mean_total_delay() const {
+  // Cut-through forwarding: total service through the network is
+  // n + m - 1 cycles for constant message size m (Section V, end); for
+  // random sizes we use the mean size.
+  return mean_total() + static_cast<double>(n_) +
+         stages_.spec().mean_service() - 1.0;
+}
+
+}  // namespace ksw::core

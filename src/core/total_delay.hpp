@@ -1,0 +1,61 @@
+// Total waiting time through an n-stage network (paper Section V).
+//
+// The total waiting time is the sum of per-stage waiting times. Its mean is
+// the sum of the per-stage means. Its variance is the sum of per-stage
+// variances plus twice the inter-stage covariances, which the paper models
+// as decaying geometrically with stage distance:
+//
+//   sigma_{i,i+1} = a v_i,  sigma_{i,i+j} = a b^{j-1} v_i   (j >= 1)
+//   a = (1 - 2 m rho / 5) 3 m rho / (5k),  b = (1 - 2 m rho / 5)/k.
+//
+// Finally, the full distribution of the total waiting time is approximated
+// by the gamma distribution with the estimated mean and variance — the
+// paper's Figs. 3-8 show this matches simulation "incredibly" well,
+// including the tails.
+#pragma once
+
+#include "core/later_stages.hpp"
+#include "stats/gamma_distribution.hpp"
+
+namespace ksw::core {
+
+/// Section V estimates for the total waiting time over n stages.
+class TotalDelay {
+ public:
+  TotalDelay(LaterStages stages, unsigned n_stages);
+
+  [[nodiscard]] unsigned n_stages() const noexcept { return n_; }
+  [[nodiscard]] const LaterStages& stages() const noexcept { return stages_; }
+
+  /// Sum of per-stage mean waiting times.
+  [[nodiscard]] double mean_total() const;
+
+  /// Total variance. With `with_covariance` (the default), includes the
+  /// geometric covariance correction above; without it, assumes stages are
+  /// independent (the paper's first approximation).
+  [[nodiscard]] double variance_total(bool with_covariance = true) const;
+
+  /// Model covariance sigma_{ij} between the waiting times at stages i and
+  /// j (1-based). sigma_{ii} is the stage variance.
+  [[nodiscard]] double covariance(unsigned i, unsigned j) const;
+
+  /// Model correlation between stages i and j.
+  [[nodiscard]] double correlation(unsigned i, unsigned j) const;
+
+  /// Gamma approximation to the distribution of the total waiting time.
+  [[nodiscard]] stats::GammaDistribution gamma_approximation() const;
+
+  /// Mean/variance of the total *delay* (waiting + service). With constant
+  /// per-stage service and cut-through forwarding the added service is
+  /// n + m - 1 cycles with zero variance (Section V, end).
+  [[nodiscard]] double mean_total_delay() const;
+
+ private:
+  /// Decay parameters (a, b) of the covariance model.
+  [[nodiscard]] std::pair<double, double> covariance_decay() const;
+
+  LaterStages stages_;
+  unsigned n_;
+};
+
+}  // namespace ksw::core

@@ -1,0 +1,116 @@
+#include "core/total_distribution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/total_delay.hpp"
+
+namespace ksw::core {
+
+namespace {
+
+std::vector<double> convolve_truncated(const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       std::size_t length) {
+  std::vector<double> out(length, 0.0);
+  const std::size_t na = std::min(a.size(), length);
+  for (std::size_t i = 0; i < na; ++i) {
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    const std::size_t nb = std::min(b.size(), length - i);
+    for (std::size_t j = 0; j < nb; ++j) out[i + j] += ai * b[j];
+  }
+  return out;
+}
+
+// Mix `pmf` toward its one-step up-shift (weight alpha in [0,1)), raising
+// the mean by exactly alpha while keeping integer support.
+std::vector<double> shift_mix_up(const std::vector<double>& pmf,
+                                 double alpha) {
+  std::vector<double> out(pmf.size() + 1, 0.0);
+  for (std::size_t j = 0; j < pmf.size(); ++j) {
+    out[j] += (1.0 - alpha) * pmf[j];
+    out[j + 1] += alpha * pmf[j];
+  }
+  return out;
+}
+
+// Mix `pmf` toward a point mass at zero (weight beta), scaling the mean by
+// (1 - beta).
+std::vector<double> zero_mix(const std::vector<double>& pmf, double beta) {
+  std::vector<double> out = pmf;
+  for (double& x : out) x *= (1.0 - beta);
+  out[0] += beta;
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> convolve_power(const std::vector<double>& pmf,
+                                   unsigned n, std::size_t length) {
+  if (length == 0)
+    throw std::invalid_argument("convolve_power: length == 0");
+  std::vector<double> result(length, 0.0);
+  result[0] = 1.0;  // delta at 0 == identity of convolution
+  std::vector<double> base(pmf.begin(),
+                           pmf.begin() + static_cast<std::ptrdiff_t>(
+                                             std::min(pmf.size(), length)));
+  base.resize(length, 0.0);
+  while (n > 0) {
+    if (n & 1u) result = convolve_truncated(result, base, length);
+    n >>= 1u;
+    if (n > 0) base = convolve_truncated(base, base, length);
+  }
+  return result;
+}
+
+TotalDistribution::TotalDistribution(LaterStages stages, unsigned n_stages)
+    : stages_(std::move(stages)), n_(n_stages) {
+  if (n_ == 0)
+    throw std::invalid_argument("TotalDistribution: n_stages == 0");
+}
+
+std::vector<double> TotalDistribution::iid_convolution(
+    std::size_t length) const {
+  const FirstStage first(stages_.spec().first_stage_queue());
+  return convolve_power(first.distribution(length), n_, length);
+}
+
+std::vector<double> TotalDistribution::scaled_convolution(
+    std::size_t length) const {
+  const FirstStage first(stages_.spec().first_stage_queue());
+  const std::vector<double> base = first.distribution(length);
+  const double w1 = stages_.mean_first_stage();
+
+  std::vector<double> acc(length, 0.0);
+  acc[0] = 1.0;
+  for (unsigned i = 1; i <= n_; ++i) {
+    const double target = stages_.mean_at_stage(i);
+    std::vector<double> stage_pmf;
+    if (target >= w1) {
+      const double alpha = std::min(target - w1, 1.0 - 1e-12);
+      stage_pmf = shift_mix_up(base, alpha);
+    } else if (w1 > 0.0) {
+      const double beta = std::clamp(1.0 - target / w1, 0.0, 1.0);
+      stage_pmf = zero_mix(base, beta);
+    } else {
+      stage_pmf = base;
+    }
+    acc = convolve_truncated(acc, stage_pmf, length);
+  }
+  return acc;
+}
+
+stats::GammaDistribution TotalDistribution::gamma() const {
+  return TotalDelay(stages_, n_).gamma_approximation();
+}
+
+double TotalDistribution::convolution_cdf(std::size_t w,
+                                          std::size_t length) const {
+  const auto pmf = iid_convolution(std::max(length, w + 1));
+  double acc = 0.0;
+  for (std::size_t j = 0; j <= w && j < pmf.size(); ++j) acc += pmf[j];
+  return acc;
+}
+
+}  // namespace ksw::core

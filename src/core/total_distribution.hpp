@@ -1,0 +1,58 @@
+// Distribution-level estimates of the TOTAL waiting time, complementing
+// the moment-level gamma approximation of total_delay.hpp.
+//
+// The paper's Section V observes that per-stage waiting times are "nearly
+// the same and nearly independent" for light-to-moderate loads. Taking
+// that literally gives a second estimator of the total distribution: the
+// n-fold convolution of the exact first-stage pmf (Theorem 1 inversion).
+// Ignoring the positive inter-stage correlation, the convolution slightly
+// understates the variance, whereas the gamma approximation bakes the
+// covariance correction into its matched moments — the ext_convolution
+// bench quantifies the trade-off against simulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/first_stage.hpp"
+#include "core/later_stages.hpp"
+#include "stats/gamma_distribution.hpp"
+
+namespace ksw::core {
+
+/// n-fold convolution of a (sub-)probability vector, truncated to `length`
+/// coefficients. Exponentiation by squaring: O(log n) convolutions of
+/// O(length^2) each.
+[[nodiscard]] std::vector<double> convolve_power(
+    const std::vector<double>& pmf, unsigned n, std::size_t length);
+
+/// Total-waiting-time distribution estimators for an n-stage network.
+class TotalDistribution {
+ public:
+  TotalDistribution(LaterStages stages, unsigned n_stages);
+
+  /// IID-convolution estimate: exact first-stage pmf convolved n times
+  /// (assumes stages identically distributed and independent).
+  [[nodiscard]] std::vector<double> iid_convolution(std::size_t length) const;
+
+  /// Scaled-convolution estimate: the first-stage pmf whose mean has been
+  /// inflated to the stage average predicted by Section IV, convolved n
+  /// times. Captures the interior-stage drift the plain IID form misses.
+  /// The inflation mixes the pmf toward a one-cycle shift (keeping support
+  /// on the integers).
+  [[nodiscard]] std::vector<double> scaled_convolution(
+      std::size_t length) const;
+
+  /// Gamma approximation (Section V), for convenience/parity.
+  [[nodiscard]] stats::GammaDistribution gamma() const;
+
+  /// P(W <= w) under the IID convolution estimate.
+  [[nodiscard]] double convolution_cdf(std::size_t w,
+                                       std::size_t length = 4096) const;
+
+ private:
+  LaterStages stages_;
+  unsigned n_;
+};
+
+}  // namespace ksw::core

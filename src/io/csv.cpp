@@ -1,0 +1,77 @@
+#include "io/csv.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ksw::io {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty())
+    throw std::invalid_argument("CsvWriter: empty header");
+}
+
+CsvWriter& CsvWriter::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::string value) {
+  if (rows_.empty()) begin_row();
+  if (rows_.back().size() >= header_.size())
+    throw std::invalid_argument("CsvWriter::add: row wider than header");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+CsvWriter& CsvWriter::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+CsvWriter& CsvWriter::add(std::uint64_t value) {
+  return add(std::to_string(value));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(header_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) os << ',';
+      if (c < row.size()) os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace ksw::io

@@ -1,0 +1,41 @@
+// Minimal CSV writer (RFC 4180 quoting) for exporting analysis and
+// simulation results to spreadsheets / plotting scripts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ksw::io {
+
+/// Row-oriented CSV document with a fixed header.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Start a new row; fill it with `add` calls. Rows shorter than the
+  /// header are padded with empty fields on output; longer rows throw.
+  CsvWriter& begin_row();
+  CsvWriter& add(std::string value);
+  CsvWriter& add(double value, int precision = 9);
+  CsvWriter& add(std::int64_t value);
+  CsvWriter& add(std::uint64_t value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows_.size();
+  }
+
+  /// Serialize with CRLF-free line endings ('\n').
+  void write(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single CSV field per RFC 4180 (only when needed).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace ksw::io

@@ -1,0 +1,178 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ksw::io {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c);
+          out += os.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = std::make_shared<Array>();
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = std::make_shared<Object>();
+  return j;
+}
+
+Json& Json::push_back(Json v) {
+  if (is_null()) value_ = std::make_shared<Array>();
+  auto* arr = std::get_if<std::shared_ptr<Array>>(&value_);
+  if (arr == nullptr)
+    throw std::logic_error("Json::push_back: not an array");
+  (*arr)->items.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (is_null()) value_ = std::make_shared<Object>();
+  auto* obj = std::get_if<std::shared_ptr<Object>>(&value_);
+  if (obj == nullptr) throw std::logic_error("Json::set: not an object");
+  for (auto& member : (*obj)->members) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return *this;
+    }
+  }
+  (*obj)->members.emplace_back(key, std::move(v));
+  return *this;
+}
+
+bool Json::is_null() const noexcept {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+
+bool Json::is_array() const noexcept {
+  return std::holds_alternative<std::shared_ptr<Array>>(value_);
+}
+
+bool Json::is_object() const noexcept {
+  return std::holds_alternative<std::shared_ptr<Object>>(value_);
+}
+
+std::size_t Json::size() const {
+  if (const auto* arr = std::get_if<std::shared_ptr<Array>>(&value_))
+    return (*arr)->items.size();
+  if (const auto* obj = std::get_if<std::shared_ptr<Object>>(&value_))
+    return (*obj)->members.size();
+  return 0;
+}
+
+namespace {
+
+void write_number(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no NaN/inf
+    return;
+  }
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    os << static_cast<long long>(d);
+    return;
+  }
+  std::ostringstream tmp;
+  tmp << std::setprecision(12) << d;
+  os << tmp.str();
+}
+
+void write_pad(std::ostream& os, int indent, int depth) {
+  if (indent > 0) {
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i) os << ' ';
+  }
+}
+
+}  // namespace
+
+void Json::write_impl(std::ostream& os, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    os << "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    os << (*b ? "true" : "false");
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    write_number(os, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    os << '"' << json_escape(*s) << '"';
+  } else if (const auto* arr = std::get_if<std::shared_ptr<Array>>(&value_)) {
+    const auto& items = (*arr)->items;
+    if (items.empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) os << ',';
+      write_pad(os, indent, depth + 1);
+      items[i].write_impl(os, indent, depth + 1);
+    }
+    write_pad(os, indent, depth);
+    os << ']';
+  } else if (const auto* obj =
+                 std::get_if<std::shared_ptr<Object>>(&value_)) {
+    const auto& members = (*obj)->members;
+    if (members.empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{';
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i) os << ',';
+      write_pad(os, indent, depth + 1);
+      os << '"' << json_escape(members[i].first) << "\":";
+      if (indent > 0) os << ' ';
+      members[i].second.write_impl(os, indent, depth + 1);
+    }
+    write_pad(os, indent, depth);
+    os << '}';
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Json::to_string(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+}  // namespace ksw::io

@@ -1,0 +1,67 @@
+// Minimal JSON value builder + serializer, for machine-readable output
+// from the kswsim CLI (no external dependencies; write-only — this
+// library never needs to parse JSON).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ksw::io {
+
+/// A JSON value: null, bool, number, string, array, or object.
+/// Objects keep insertion order.
+class Json {
+ public:
+  Json() : value_(nullptr) {}                       // null
+  Json(bool b) : value_(b) {}                       // NOLINT(runtime/explicit)
+  Json(double d) : value_(d) {}                     // NOLINT
+  Json(int i) : value_(static_cast<double>(i)) {}   // NOLINT
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}   // NOLINT
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}   // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}     // NOLINT
+
+  static Json array();
+  static Json object();
+
+  /// Append to an array (converts a null value to an array first).
+  Json& push_back(Json v);
+
+  /// Set an object key (converts a null value to an object first).
+  Json& set(const std::string& key, Json v);
+
+  [[nodiscard]] bool is_null() const noexcept;
+  [[nodiscard]] bool is_array() const noexcept;
+  [[nodiscard]] bool is_object() const noexcept;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+  void write(std::ostream& os, int indent = 0) const;
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+
+ private:
+  struct Array;
+  struct Object;
+  using Value = std::variant<std::nullptr_t, bool, double, std::string,
+                             std::shared_ptr<Array>, std::shared_ptr<Object>>;
+
+  struct Array {
+    std::vector<Json> items;
+  };
+  struct Object {
+    std::vector<std::pair<std::string, Json>> members;
+  };
+
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Value value_;
+};
+
+/// Escape a string for embedding in JSON (without surrounding quotes).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace ksw::io

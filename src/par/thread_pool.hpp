@@ -1,0 +1,66 @@
+// Minimal fixed-size thread pool and deterministic parallel helpers.
+//
+// The simulator uses `parallel_for` to run independent Monte-Carlo
+// replicates across cores. Determinism contract: the work function receives
+// the task index, each task derives its randomness from that index (via
+// rng::Xoshiro256::split), and results are merged in index order — so the
+// outcome is bit-identical for a fixed seed regardless of thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ksw::par {
+
+/// Fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueue a task; it will run on some worker.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, count) across the pool; blocks until all done.
+/// Exceptions thrown by tasks propagate (the first one, after all finish).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience: run `count` independent jobs producing results of type T,
+/// collected in index order into a vector (deterministic merge).
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  std::vector<T> out(count);
+  parallel_for(pool, count, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace ksw::par

@@ -1,0 +1,75 @@
+#include "pgf/moments.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ksw::pgf {
+
+MomentTuple MomentTuple::monomial(std::uint64_t m) noexcept {
+  const double md = static_cast<double>(m);
+  MomentTuple t;
+  t.value = 1.0;
+  t.d1 = md;
+  t.d2 = md * (md - 1.0);
+  t.d3 = md * (md - 1.0) * (md - 2.0);
+  t.d4 = md * (md - 1.0) * (md - 2.0) * (md - 3.0);
+  return t;
+}
+
+MomentTuple MomentTuple::from_pmf(std::span<const double> pmf) noexcept {
+  MomentTuple t{0, 0, 0, 0, 0};
+  for (std::size_t j = 0; j < pmf.size(); ++j) {
+    const double jd = static_cast<double>(j);
+    const double p = pmf[j];
+    t.value += p;
+    t.d1 += p * jd;
+    t.d2 += p * jd * (jd - 1.0);
+    t.d3 += p * jd * (jd - 1.0) * (jd - 2.0);
+    t.d4 += p * jd * (jd - 1.0) * (jd - 2.0) * (jd - 3.0);
+  }
+  return t;
+}
+
+MomentTuple MomentTuple::product(const MomentTuple& f,
+                                 const MomentTuple& g) noexcept {
+  MomentTuple t;
+  t.value = f.value * g.value;
+  t.d1 = f.d1 * g.value + f.value * g.d1;
+  t.d2 = f.d2 * g.value + 2.0 * f.d1 * g.d1 + f.value * g.d2;
+  t.d3 = f.d3 * g.value + 3.0 * f.d2 * g.d1 + 3.0 * f.d1 * g.d2 +
+         f.value * g.d3;
+  t.d4 = f.d4 * g.value + 4.0 * f.d3 * g.d1 + 6.0 * f.d2 * g.d2 +
+         4.0 * f.d1 * g.d3 + f.value * g.d4;
+  return t;
+}
+
+MomentTuple MomentTuple::compose(const MomentTuple& outer,
+                                 const MomentTuple& inner) {
+  if (std::abs(inner.value - 1.0) > 1e-9)
+    throw std::invalid_argument(
+        "MomentTuple::compose: inner function must satisfy G(1) == 1");
+  const double g1 = inner.d1, g2 = inner.d2, g3 = inner.d3, g4 = inner.d4;
+  MomentTuple t;
+  t.value = outer.value;
+  // Faà di Bruno's formula at z = 1 (Bell-polynomial coefficients).
+  t.d1 = outer.d1 * g1;
+  t.d2 = outer.d2 * g1 * g1 + outer.d1 * g2;
+  t.d3 = outer.d3 * g1 * g1 * g1 + 3.0 * outer.d2 * g1 * g2 + outer.d1 * g3;
+  t.d4 = outer.d4 * g1 * g1 * g1 * g1 + 6.0 * outer.d3 * g1 * g1 * g2 +
+         outer.d2 * (4.0 * g1 * g3 + 3.0 * g2 * g2) + outer.d1 * g4;
+  return t;
+}
+
+MomentTuple MomentTuple::power(const MomentTuple& f,
+                               std::uint64_t n) noexcept {
+  MomentTuple result = MomentTuple::one();
+  MomentTuple base = f;
+  while (n > 0) {
+    if (n & 1u) result = product(result, base);
+    n >>= 1u;
+    if (n > 0) base = product(base, base);
+  }
+  return result;
+}
+
+}  // namespace ksw::pgf

@@ -1,0 +1,61 @@
+// Exact factorial-moment algebra for probability generating functions.
+//
+// The closed-form results of the paper (eqs. 2-9) are expressed in terms of
+// derivatives of the arrival PGF R and service PGF U evaluated at z = 1:
+// R'(1), R''(1), R'''(1), ... (the factorial moments E[X(X-1)...]). Rather
+// than differentiating symbolically (the authors used Macsyma overnight),
+// we carry the 5-tuple (F(1), F'(1), F''(1), F'''(1), F''''(1)) through
+// products and compositions with exact Leibniz / Faà di Bruno rules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ksw::pgf {
+
+/// Value and first four derivatives of a generating function at z = 1.
+/// For a PGF, value == 1 and d1..d4 are the factorial moments
+/// E[X], E[X(X-1)], E[X(X-1)(X-2)], E[X(X-1)(X-2)(X-3)].
+struct MomentTuple {
+  double value = 1.0;
+  double d1 = 0.0;
+  double d2 = 0.0;
+  double d3 = 0.0;
+  double d4 = 0.0;
+
+  /// Tuple of the constant function 1.
+  static constexpr MomentTuple one() noexcept { return {1, 0, 0, 0, 0}; }
+
+  /// Tuple of the identity z.
+  static constexpr MomentTuple identity_z() noexcept {
+    return {1, 1, 0, 0, 0};
+  }
+
+  /// Tuple of z^m for integer m >= 0 (deterministic distribution at m).
+  static MomentTuple monomial(std::uint64_t m) noexcept;
+
+  /// Tuple from an explicit pmf p_j = P(X = j), j = 0..len-1.
+  static MomentTuple from_pmf(std::span<const double> pmf) noexcept;
+
+  /// Leibniz product rule: derivatives of F*G at 1.
+  [[nodiscard]] static MomentTuple product(const MomentTuple& f,
+                                           const MomentTuple& g) noexcept;
+
+  /// Faà di Bruno: derivatives of F(G(z)) at z = 1. Requires the inner
+  /// function to satisfy G(1) == 1 (always true for PGFs) because the outer
+  /// tuple is known only at 1.
+  [[nodiscard]] static MomentTuple compose(const MomentTuple& outer,
+                                           const MomentTuple& inner);
+
+  /// F^n via repeated products.
+  [[nodiscard]] static MomentTuple power(const MomentTuple& f,
+                                         std::uint64_t n) noexcept;
+
+  /// Ordinary moments derived from the factorial moments.
+  [[nodiscard]] double mean() const noexcept { return d1; }
+  [[nodiscard]] double variance() const noexcept {
+    return d2 + d1 - d1 * d1;
+  }
+};
+
+}  // namespace ksw::pgf

@@ -1,0 +1,78 @@
+#include "rng/xoshiro.hpp"
+
+#include <cmath>
+
+namespace ksw::rng {
+
+namespace {
+
+// Official jump polynomials from the xoshiro256** reference implementation.
+constexpr std::array<std::uint64_t, 4> kJump = {
+    0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+    0x39abdc4529b1661cULL};
+
+constexpr std::array<std::uint64_t, 4> kLongJump = {
+    0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+    0x39109bb02acbe635ULL};
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+void Xoshiro256::apply_jump(
+    const std::array<std::uint64_t, 4>& table) noexcept {
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (std::uint64_t word : table) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        acc[0] ^= s_[0];
+        acc[1] ^= s_[1];
+        acc[2] ^= s_[2];
+        acc[3] ^= s_[3];
+      }
+      operator()();
+    }
+  }
+  s_ = acc;
+}
+
+void Xoshiro256::jump() noexcept { apply_jump(kJump); }
+
+void Xoshiro256::long_jump() noexcept { apply_jump(kLongJump); }
+
+Xoshiro256 Xoshiro256::split(std::uint64_t n) const noexcept {
+  Xoshiro256 out = *this;
+  for (std::uint64_t i = 0; i < n; ++i) out.jump();
+  return out;
+}
+
+std::uint64_t Xoshiro256::uniform_int(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire multiply-shift with rejection to remove bias.
+  std::uint64_t x = operator()();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+    while (lo < threshold) {
+      x = operator()();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Xoshiro256::geometric(double p) noexcept {
+  if (p >= 1.0) return 1;
+  // Inversion: ceil(log(U) / log(1-p)) over U in (0,1).
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  const double v = std::log(u) / std::log1p(-p);
+  return 1 + static_cast<std::uint64_t>(v);
+}
+
+}  // namespace ksw::rng

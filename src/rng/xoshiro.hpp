@@ -1,0 +1,91 @@
+// Deterministic, splittable random-number generation for parallel
+// simulation.
+//
+// xoshiro256** (Blackman & Vigna) with jump()/long_jump() gives each
+// replicate a provably non-overlapping 2^128-step subsequence of one master
+// stream, so results are bit-identical for a fixed seed regardless of how
+// replicates are scheduled across threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ksw::rng {
+
+/// SplitMix64 — used to expand a 64-bit seed into xoshiro state. Also a
+/// fine standalone generator for non-critical uses.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 expansion (never produces the all-zero state).
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Advance 2^128 steps; partitions the period into non-overlapping
+  /// subsequences for parallel replicates.
+  void jump() noexcept;
+
+  /// Advance 2^192 steps; partitions into coarser blocks for distributed
+  /// use on top of jump().
+  void long_jump() noexcept;
+
+  /// A generator `n` jumps ahead of this one (this one is unchanged).
+  [[nodiscard]] Xoshiro256 split(std::uint64_t n) const noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method with
+  /// rejection).
+  std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Geometric on {1, 2, ...} with success probability p: number of trials
+  /// up to and including the first success.
+  std::uint64_t geometric(double p) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  void apply_jump(const std::array<std::uint64_t, 4>& table) noexcept;
+
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace ksw::rng

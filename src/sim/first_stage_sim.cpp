@@ -1,0 +1,79 @@
+#include "sim/first_stage_sim.hpp"
+
+#include <stdexcept>
+
+#include "sim/ring_queue.hpp"
+
+namespace ksw::sim {
+
+namespace {
+
+struct Waiting {
+  std::int64_t arrival = 0;
+  std::uint32_t service = 1;
+};
+
+}  // namespace
+
+void FirstStageResults::merge(const FirstStageResults& other) {
+  waiting.merge(other.waiting);
+  histogram.merge(other.histogram);
+  queue_depth.merge(other.queue_depth);
+  messages += other.messages;
+}
+
+FirstStageResults run_first_stage(const FirstStageConfig& cfg) {
+  if (cfg.k == 0 || cfg.s == 0)
+    throw std::invalid_argument("run_first_stage: k and s must be >= 1");
+  if (!(cfg.p >= 0.0 && cfg.p <= 1.0))
+    throw std::invalid_argument("run_first_stage: p outside [0,1]");
+  if (!(cfg.q >= 0.0 && cfg.q <= 1.0))
+    throw std::invalid_argument("run_first_stage: q outside [0,1]");
+  if (cfg.bulk == 0)
+    throw std::invalid_argument("run_first_stage: bulk == 0");
+
+  rng::Xoshiro256 gen(cfg.seed);
+  std::vector<RingQueue<Waiting>> queues(cfg.s);
+  std::vector<std::int64_t> busy_until(cfg.s, 0);
+
+  FirstStageResults out;
+  const std::int64_t total = cfg.warmup_cycles + cfg.measure_cycles;
+  constexpr std::int64_t kDepthSampleStride = 64;
+
+  for (std::int64_t t = 0; t < total; ++t) {
+    // Arrivals: each input independently delivers one batch; destinations
+    // are the input's favorite output with probability q, else uniform.
+    for (unsigned input = 0; input < cfg.k; ++input) {
+      if (!gen.bernoulli(cfg.p)) continue;
+      const unsigned dest =
+          (cfg.q > 0.0 && gen.bernoulli(cfg.q))
+              ? input % cfg.s
+              : static_cast<unsigned>(gen.uniform_int(cfg.s));
+      for (unsigned pkt = 0; pkt < cfg.bulk; ++pkt)
+        queues[dest].push(Waiting{t, cfg.service.sample(gen)});
+    }
+
+    // Service: each queue begins at most one service per cycle.
+    const bool measuring = t >= cfg.warmup_cycles;
+    for (unsigned qi = 0; qi < cfg.s; ++qi) {
+      auto& queue = queues[qi];
+      if (busy_until[qi] > t || queue.empty()) continue;
+      const Waiting head = queue.front();
+      queue.pop();
+      busy_until[qi] = t + head.service;
+      if (measuring) {
+        const std::int64_t w = t - head.arrival;
+        out.waiting.add(static_cast<double>(w));
+        out.histogram.add(w);
+        ++out.messages;
+      }
+    }
+
+    if (measuring && t % kDepthSampleStride == 0)
+      for (unsigned qi = 0; qi < cfg.s; ++qi)
+        out.queue_depth.add(static_cast<double>(queues[qi].size()));
+  }
+  return out;
+}
+
+}  // namespace ksw::sim

@@ -1,0 +1,46 @@
+// Cycle-accurate simulation of ONE k-input, s-output buffered switch —
+// the queueing system analyzed exactly in Section II. Used to validate
+// Theorem 1 (moments and full distribution) for every traffic class:
+// uniform, bulk, nonuniform, and all service distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+#include "sim/service_spec.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/histogram.hpp"
+
+namespace ksw::sim {
+
+/// Configuration of the single-switch experiment.
+struct FirstStageConfig {
+  unsigned k = 2;  ///< input ports
+  unsigned s = 2;  ///< output ports (= queues)
+  double p = 0.5;  ///< per-input batch probability per cycle
+  unsigned bulk = 1;
+  /// Favorite-output probability: input i sends to output i mod s with
+  /// probability q, uniformly otherwise (paper III-A-3, meaningful when
+  /// k == s).
+  double q = 0.0;
+  ServiceSpec service = ServiceSpec::deterministic(1);
+  std::int64_t warmup_cycles = 5'000;
+  std::int64_t measure_cycles = 100'000;
+  std::uint64_t seed = 1;
+};
+
+/// Waiting-time statistics aggregated over all output queues.
+struct FirstStageResults {
+  stats::Accumulator waiting;      ///< per-message waiting time
+  stats::IntHistogram histogram;   ///< waiting-time tally
+  stats::Accumulator queue_depth;  ///< sampled queue length (Little check)
+  std::uint64_t messages = 0;
+
+  void merge(const FirstStageResults& other);
+};
+
+/// Run the single-switch simulation.
+[[nodiscard]] FirstStageResults run_first_stage(const FirstStageConfig& cfg);
+
+}  // namespace ksw::sim

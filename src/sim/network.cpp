@@ -1,0 +1,193 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "rng/xoshiro.hpp"
+#include "sim/ring_queue.hpp"
+#include "sim/topology.hpp"
+
+namespace ksw::sim {
+
+namespace {
+
+struct Packet {
+  std::uint32_t dst = 0;
+  std::uint32_t service = 1;
+  std::int64_t arrival = 0;  // cycle available at the current queue
+  std::int64_t born = 0;     // injection cycle (measurement gating)
+  std::int32_t total_wait = 0;
+  std::array<std::int32_t, kMaxTrackedStages> stage_waits{};
+};
+
+void validate(const NetworkConfig& cfg) {
+  if (cfg.k < 2) throw std::invalid_argument("run_network: k must be >= 2");
+  if (cfg.stages == 0)
+    throw std::invalid_argument("run_network: stages must be >= 1");
+  if (!(cfg.p >= 0.0 && cfg.p <= 1.0))
+    throw std::invalid_argument("run_network: p outside [0,1]");
+  if (!(cfg.q >= 0.0 && cfg.q <= 1.0))
+    throw std::invalid_argument("run_network: q outside [0,1]");
+  if (cfg.bulk == 0) throw std::invalid_argument("run_network: bulk == 0");
+  if (!(cfg.hotspot >= 0.0 && cfg.hotspot <= 1.0))
+    throw std::invalid_argument("run_network: hotspot outside [0,1]");
+  if (cfg.track_correlations && cfg.stages > kMaxTrackedStages)
+    throw std::invalid_argument(
+        "run_network: correlation tracking limited to 16 stages");
+  for (unsigned c : cfg.total_checkpoints)
+    if (c == 0 || c > cfg.stages)
+      throw std::invalid_argument(
+          "run_network: total checkpoint outside [1, stages]");
+}
+
+}  // namespace
+
+void NetworkResults::merge(const NetworkResults& other) {
+  if (stage_wait.size() != other.stage_wait.size() ||
+      total_wait.size() != other.total_wait.size())
+    throw std::invalid_argument("NetworkResults::merge: shape mismatch");
+  for (std::size_t i = 0; i < stage_wait.size(); ++i) {
+    stage_wait[i].merge(other.stage_wait[i]);
+    stage_depth[i].merge(other.stage_depth[i]);
+  }
+  if (stage_hist.size() == other.stage_hist.size())
+    for (std::size_t i = 0; i < stage_hist.size(); ++i)
+      stage_hist[i].merge(other.stage_hist[i]);
+  for (std::size_t i = 0; i < total_wait.size(); ++i)
+    total_wait[i].merge(other.total_wait[i]);
+  if (stage_covariance && other.stage_covariance)
+    stage_covariance->merge(*other.stage_covariance);
+  packets_injected += other.packets_injected;
+  packets_delivered += other.packets_delivered;
+  packets_dropped += other.packets_dropped;
+}
+
+NetworkResults run_network(const NetworkConfig& cfg) {
+  validate(cfg);
+  const Topology topo(cfg.topology, cfg.k, cfg.stages);
+  const std::uint32_t ports = topo.ports();
+  const unsigned n = cfg.stages;
+
+  rng::Xoshiro256 gen(cfg.seed);
+
+  // queues[s][a]: the output queue at butterfly node (stage s, address a).
+  std::vector<std::vector<RingQueue<Packet>>> queues(
+      n, std::vector<RingQueue<Packet>>(ports));
+  std::vector<std::vector<std::int64_t>> busy_until(
+      n, std::vector<std::int64_t>(ports, 0));
+
+  // Checkpoint lookup: after completing c stages, record into
+  // total_wait[checkpoint_of[c]].
+  std::vector<int> checkpoint_of(n + 1, -1);
+  for (std::size_t i = 0; i < cfg.total_checkpoints.size(); ++i)
+    checkpoint_of[cfg.total_checkpoints[i]] = static_cast<int>(i);
+
+  NetworkResults out;
+  out.stage_wait.resize(n);
+  out.stage_depth.resize(n);
+  if (cfg.track_stage_histograms) out.stage_hist.resize(n);
+  out.total_wait.resize(cfg.total_checkpoints.size());
+  if (cfg.track_correlations) out.stage_covariance.emplace(n);
+
+  std::vector<double> corr_scratch(n, 0.0);
+  const std::int64_t total_cycles = cfg.warmup_cycles + cfg.measure_cycles;
+  constexpr std::int64_t kDepthSampleStride = 64;
+  const bool finite = cfg.buffer_capacity > 0;
+
+  for (std::int64_t t = 0; t < total_cycles; ++t) {
+    // --- Injection at the first stage ------------------------------------
+    for (std::uint32_t src = 0; src < ports; ++src) {
+      if (!gen.bernoulli(cfg.p)) continue;
+      std::uint32_t dst;
+      if (cfg.hotspot > 0.0 && gen.bernoulli(cfg.hotspot))
+        dst = cfg.hotspot_target % ports;
+      else if (cfg.q > 0.0 && gen.bernoulli(cfg.q))
+        dst = src;
+      else
+        dst = static_cast<std::uint32_t>(gen.uniform_int(ports));
+      const std::uint32_t addr0 = topo.entry_queue(src, dst);
+      for (unsigned b = 0; b < cfg.bulk; ++b) {
+        if (finite && queues[0][addr0].size() >= cfg.buffer_capacity) {
+          if (t >= cfg.warmup_cycles) ++out.packets_dropped;
+          continue;
+        }
+        Packet pkt;
+        pkt.dst = dst;
+        pkt.service = cfg.service.sample(gen);
+        pkt.arrival = t;
+        pkt.born = t;
+        queues[0][addr0].push(pkt);
+        if (t >= cfg.warmup_cycles) ++out.packets_injected;
+      }
+    }
+
+    // --- Service, stage by stage -----------------------------------------
+    for (unsigned s = 0; s < n; ++s) {
+      auto& stage_queues = queues[s];
+      auto& stage_busy = busy_until[s];
+      for (std::uint32_t a = 0; a < ports; ++a) {
+        if (stage_busy[a] > t) continue;
+        auto& queue = stage_queues[a];
+        if (queue.empty()) continue;
+        Packet& head = queue.front();
+        if (head.arrival > t) continue;  // delivered later this cycle
+
+        std::uint32_t next_addr = 0;
+        if (s + 1 < n) {
+          next_addr = topo.next_queue(s, a, head.dst);
+          // Finite buffers: block upstream service on a full downstream
+          // queue (backpressure).
+          if (finite && queues[s + 1][next_addr].size() >= cfg.buffer_capacity)
+            continue;
+        }
+
+        const std::int64_t w = t - head.arrival;
+        const bool measured = head.born >= cfg.warmup_cycles;
+        if (measured) {
+          out.stage_wait[s].add(static_cast<double>(w));
+          if (cfg.track_stage_histograms) out.stage_hist[s].add(w);
+          head.total_wait += static_cast<std::int32_t>(w);
+          if (cfg.track_correlations)
+            head.stage_waits[s] = static_cast<std::int32_t>(w);
+          const int cp = checkpoint_of[s + 1];
+          if (cp >= 0) out.total_wait[static_cast<std::size_t>(cp)].add(
+              head.total_wait);
+        }
+
+        stage_busy[a] = t + head.service;
+        if (s + 1 < n) {
+          Packet moved = head;
+          moved.arrival = t + 1;
+          queue.pop();
+          queues[s + 1][next_addr].push(moved);
+        } else {
+          if (measured) {
+            ++out.packets_delivered;
+            if (cfg.track_correlations) {
+              for (unsigned i = 0; i < n; ++i)
+                corr_scratch[i] = static_cast<double>(head.stage_waits[i]);
+              out.stage_covariance->add(corr_scratch);
+            }
+          }
+          queue.pop();
+        }
+      }
+    }
+
+    // --- Occupancy sampling ----------------------------------------------
+    if (t >= cfg.warmup_cycles && t % kDepthSampleStride == 0)
+      for (unsigned s = 0; s < n; ++s)
+        for (std::uint32_t a = 0; a < ports; ++a) {
+          // Exclude packets still in flight on the inter-stage link
+          // (cut-through arrivals stamped t + 1); they sit at the tail.
+          const auto& queue = queues[s][a];
+          std::size_t present = queue.size();
+          while (present > 0 && queue.at(present - 1).arrival > t) --present;
+          out.stage_depth[s].add(static_cast<double>(present));
+        }
+  }
+  return out;
+}
+
+}  // namespace ksw::sim

@@ -1,0 +1,112 @@
+// Cycle-accurate simulation of a full n-stage banyan (butterfly/delta)
+// network of k x k output-queued switches — the system the paper's tables
+// and figures are measured on.
+//
+// Topology. With N = k^n input ports, the queue a packet occupies after its
+// s-th routing step is the butterfly node address
+//
+//   addr_s = dst[0..s] ++ src[s+1..n-1]        (base-k digits, MSB first)
+//
+// so no explicit wiring tables are needed: moving from stage s to s+1
+// replaces digit s+1 of the address with the corresponding destination
+// digit. The k queues feeding a given queue differ in exactly one digit —
+// the banyan property.
+//
+// Timing (paper Section II idealization):
+//   * every queue accepts any number of packets per cycle;
+//   * a queue starts at most one service per cycle; a service of length m
+//     occupies cycles t..t+m-1;
+//   * cut-through forwarding: the head packet reaches the next stage's
+//     queue at cycle t+1, so waiting there can overlap the tail of the
+//     previous service (total network service = n + m - 1);
+//   * a packet arriving at cycle t can start service at cycle t (waiting
+//     time 0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/service_spec.hpp"
+#include "sim/topology.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/covariance.hpp"
+#include "stats/histogram.hpp"
+
+namespace ksw::sim {
+
+/// Maximum stages for which per-packet stage waits can be tracked (used by
+/// correlation collection).
+inline constexpr unsigned kMaxTrackedStages = 16;
+
+struct NetworkConfig {
+  unsigned k = 2;       ///< switch degree; network has k^stages ports
+  unsigned stages = 8;  ///< number of switch stages
+  /// Wiring pattern; butterfly and Omega are isomorphic, so statistics
+  /// agree in distribution, but queue addresses differ.
+  TopologyKind topology = TopologyKind::kButterfly;
+  double p = 0.5;       ///< per-input batch probability per cycle
+  unsigned bulk = 1;    ///< packets per batch (same destination)
+  double q = 0.0;       ///< probability a batch targets dst == src
+  /// Hot-spot extension (Pfister-Norton tree saturation, referenced by the
+  /// RP3 work): with this probability a batch targets `hotspot_target`
+  /// regardless of q. The paper does not analyze this pattern; it is
+  /// provided for simulation studies.
+  double hotspot = 0.0;
+  std::uint32_t hotspot_target = 0;
+  ServiceSpec service = ServiceSpec::deterministic(1);
+  std::int64_t warmup_cycles = 10'000;
+  std::int64_t measure_cycles = 100'000;
+  std::uint64_t seed = 1;
+
+  /// 0 = infinite queues (the paper's model). Otherwise, a queue holds at
+  /// most this many waiting packets: interior transfers block the upstream
+  /// service, and injections at full first-stage queues are dropped.
+  /// Occupancy is evaluated at the moment a transfer is attempted and
+  /// counts in-flight cut-through packets — a one-cycle-granularity
+  /// approximation of real switch flow control.
+  unsigned buffer_capacity = 0;
+
+  /// Collect the stage-by-stage waiting covariance matrix (Table VI).
+  /// Requires stages <= kMaxTrackedStages.
+  bool track_correlations = false;
+
+  /// Collect a full waiting-time histogram per stage (used to check the
+  /// paper's observation that the per-stage distributions are nearly the
+  /// same at every stage).
+  bool track_stage_histograms = false;
+
+  /// Record the total waiting time accumulated over the first c stages for
+  /// each c listed here (Tables VII-XII / Figs. 3-8 use {3,6,9,12}).
+  std::vector<unsigned> total_checkpoints;
+
+  /// Traffic intensity rho = p * bulk * mean service.
+  [[nodiscard]] double rho() const {
+    return p * static_cast<double>(bulk) * service.mean();
+  }
+};
+
+struct NetworkResults {
+  /// Per-stage waiting-time accumulators (index 0 = first stage).
+  std::vector<stats::Accumulator> stage_wait;
+  /// Per-stage sampled queue depth (waiting packets only).
+  std::vector<stats::Accumulator> stage_depth;
+  /// Per-stage waiting-time histograms (only when track_stage_histograms).
+  std::vector<stats::IntHistogram> stage_hist;
+  /// Histograms of total waiting over the first c stages, one per
+  /// checkpoint (same order as NetworkConfig::total_checkpoints).
+  std::vector<stats::IntHistogram> total_wait;
+  /// Stage-by-stage waiting covariance (only when track_correlations).
+  std::optional<stats::CovarianceMatrix> stage_covariance;
+
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;  ///< finite buffers only
+
+  void merge(const NetworkResults& other);
+};
+
+/// Run the network simulation.
+[[nodiscard]] NetworkResults run_network(const NetworkConfig& cfg);
+
+}  // namespace ksw::sim

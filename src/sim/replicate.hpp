@@ -1,0 +1,36 @@
+// Parallel Monte-Carlo replication of simulations.
+//
+// R independent replicates run across a thread pool, each with an
+// independent RNG stream derived deterministically from the base seed, and
+// results are merged in replicate order — so output is bit-identical for a
+// fixed seed regardless of thread count.
+#pragma once
+
+#include <vector>
+
+#include "par/thread_pool.hpp"
+#include "sim/first_stage_sim.hpp"
+#include "sim/network.hpp"
+
+namespace ksw::sim {
+
+/// Run `replicates` independent copies of the network simulation and merge.
+[[nodiscard]] NetworkResults replicate_network(const NetworkConfig& base,
+                                               unsigned replicates,
+                                               par::ThreadPool& pool);
+
+/// As above for the single-switch simulation.
+[[nodiscard]] FirstStageResults replicate_first_stage(
+    const FirstStageConfig& base, unsigned replicates, par::ThreadPool& pool);
+
+/// Per-replicate mean total waiting time at the last checkpoint — feeds
+/// stats::replicate_interval for confidence intervals.
+[[nodiscard]] std::vector<double> replicate_network_means(
+    const NetworkConfig& base, unsigned replicates, par::ThreadPool& pool,
+    unsigned stage_index = 0);
+
+/// Deterministic per-replicate seed derivation (exposed for tests).
+[[nodiscard]] std::uint64_t replicate_seed(std::uint64_t base_seed,
+                                           unsigned replicate);
+
+}  // namespace ksw::sim

@@ -1,0 +1,65 @@
+// Growable ring-buffer FIFO.
+//
+// The hot path of the simulator is push/pop on tens of thousands of
+// per-port queues every cycle; std::deque's chunked allocation is too
+// heavy. This ring grows geometrically and never shrinks, so steady-state
+// operation is allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ksw::sim {
+
+/// FIFO queue over a power-of-two ring buffer.
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void push(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() noexcept { return buf_[head_]; }
+  [[nodiscard]] const T& front() const noexcept { return buf_[head_]; }
+
+  /// Element i positions behind the front (0 == front). No bounds check.
+  [[nodiscard]] const T& at(std::size_t i) const noexcept {
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void pop() noexcept {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 4 : buf_.size() * 2;
+    std::vector<T> fresh(new_cap);
+    for (std::size_t i = 0; i < size_; ++i)
+      fresh[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(fresh);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace ksw::sim

@@ -1,0 +1,95 @@
+#include "sim/service_spec.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ksw::sim {
+
+ServiceSpec ServiceSpec::deterministic(std::uint32_t m) {
+  if (m == 0)
+    throw std::invalid_argument("ServiceSpec::deterministic: m == 0");
+  ServiceSpec s(Kind::kDeterministic);
+  s.m_ = m;
+  return s;
+}
+
+ServiceSpec ServiceSpec::multi_size(
+    std::vector<core::MultiSizeService::Size> sizes) {
+  // Validation (probabilities sum to 1, nonzero sizes) is delegated to the
+  // analytic model, which has the same requirements.
+  const core::MultiSizeService validate(sizes);
+  (void)validate;
+  ServiceSpec s(Kind::kMultiSize);
+  s.sizes_ = std::move(sizes);
+  double acc = 0.0;
+  s.cumulative_.reserve(s.sizes_.size());
+  for (const auto& sz : s.sizes_) {
+    acc += sz.probability;
+    s.cumulative_.push_back(acc);
+  }
+  s.cumulative_.back() = 1.0;  // guard against rounding
+  return s;
+}
+
+ServiceSpec ServiceSpec::geometric(double mu) {
+  if (!(mu > 0.0) || mu > 1.0)
+    throw std::invalid_argument("ServiceSpec::geometric: mu outside (0,1]");
+  ServiceSpec s(Kind::kGeometric);
+  s.mu_ = mu;
+  return s;
+}
+
+std::uint32_t ServiceSpec::sample(rng::Xoshiro256& gen) const {
+  switch (kind_) {
+    case Kind::kDeterministic:
+      return m_;
+    case Kind::kMultiSize: {
+      const double u = gen.uniform();
+      for (std::size_t i = 0; i < cumulative_.size(); ++i)
+        if (u < cumulative_[i]) return sizes_[i].cycles;
+      return sizes_.back().cycles;
+    }
+    case Kind::kGeometric: {
+      const std::uint64_t v = gen.geometric(mu_);
+      // Clamp pathological tail draws so they fit the packet field.
+      return static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(v, std::numeric_limits<std::uint32_t>::max()));
+    }
+  }
+  return 1;
+}
+
+double ServiceSpec::mean() const {
+  switch (kind_) {
+    case Kind::kDeterministic:
+      return static_cast<double>(m_);
+    case Kind::kMultiSize: {
+      double acc = 0.0;
+      for (const auto& sz : sizes_)
+        acc += sz.probability * static_cast<double>(sz.cycles);
+      return acc;
+    }
+    case Kind::kGeometric:
+      return 1.0 / mu_;
+  }
+  return 1.0;
+}
+
+std::shared_ptr<const core::ServiceModel> ServiceSpec::to_model() const {
+  switch (kind_) {
+    case Kind::kDeterministic:
+      return std::make_shared<core::DeterministicService>(m_);
+    case Kind::kMultiSize:
+      return std::make_shared<core::MultiSizeService>(sizes_);
+    case Kind::kGeometric:
+      return std::make_shared<core::GeometricService>(mu_);
+  }
+  return std::make_shared<core::DeterministicService>(1);
+}
+
+bool ServiceSpec::is_unit() const noexcept {
+  return kind_ == Kind::kDeterministic && m_ == 1;
+}
+
+}  // namespace ksw::sim

@@ -1,0 +1,55 @@
+#include "sim/topology.hpp"
+
+namespace ksw::sim {
+
+Topology::Topology(TopologyKind kind, unsigned k, unsigned stages)
+    : kind_(kind), k_(k), n_(stages) {
+  if (k < 2) throw std::invalid_argument("Topology: k must be >= 2");
+  if (stages == 0) throw std::invalid_argument("Topology: stages == 0");
+  pow_.resize(n_ + 1);
+  pow_[0] = 1;
+  for (unsigned i = 1; i <= n_; ++i) {
+    if (pow_[i - 1] > (1u << 24) / k_)
+      throw std::invalid_argument(
+          "Topology: network too large (k^stages > 2^24 ports)");
+    pow_[i] = pow_[i - 1] * k_;
+  }
+}
+
+std::uint32_t Topology::entry_queue(std::uint32_t src,
+                                    std::uint32_t dst) const {
+  switch (kind_) {
+    case TopologyKind::kButterfly:
+      return replace_digit(src, 0, digit(dst, 0));
+    case TopologyKind::kOmega: {
+      // Shuffle the input, then the switch routes on the first digit:
+      // queue = switch * k + dst[0], i.e. replace the LAST digit of the
+      // shuffled position.
+      const std::uint32_t pos = shuffle(src);
+      return (pos / k_) * k_ + digit(dst, 0);
+    }
+  }
+  return 0;
+}
+
+std::uint32_t Topology::next_queue(unsigned s, std::uint32_t current,
+                                   std::uint32_t dst) const {
+  switch (kind_) {
+    case TopologyKind::kButterfly:
+      return replace_digit(current, s + 1, digit(dst, s + 1));
+    case TopologyKind::kOmega: {
+      const std::uint32_t pos = shuffle(current);
+      return (pos / k_) * k_ + digit(dst, s + 1);
+    }
+  }
+  return 0;
+}
+
+std::string Topology::describe() const {
+  const char* name =
+      kind_ == TopologyKind::kButterfly ? "butterfly" : "omega";
+  return std::string(name) + "(k=" + std::to_string(k_) +
+         ", stages=" + std::to_string(n_) + ")";
+}
+
+}  // namespace ksw::sim

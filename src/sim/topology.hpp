@@ -1,0 +1,75 @@
+// Multistage network topologies.
+//
+// Both are delta networks on N = k^n ports built from k x k switches; a
+// packet's route is fully determined by (source, destination). They are
+// isomorphic (same per-stage contention statistics under any
+// source-symmetric traffic), which the test suite verifies empirically —
+// but the queue *addresses* differ, and the Omega form mirrors how the
+// NYU Ultracomputer / RP3 hardware was actually drawn.
+//
+//   * Butterfly: the queue reached after s+1 routing steps is the address
+//     dst[0..s] ++ src[s+1..n-1] (digit substitution; no wiring tables).
+//   * Omega: a perfect shuffle (left digit rotation) precedes every
+//     switch column; a switch's output queue is switch*k + routing digit.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ksw::sim {
+
+enum class TopologyKind { kButterfly, kOmega };
+
+/// Address arithmetic for an n-stage delta network of k x k switches.
+/// Queues are numbered 0..k^n-1 within each stage.
+class Topology {
+ public:
+  Topology(TopologyKind kind, unsigned k, unsigned stages);
+
+  [[nodiscard]] TopologyKind kind() const noexcept { return kind_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned stages() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t ports() const noexcept { return pow_[n_]; }
+
+  /// MSB-first base-k digit j of an n-digit address.
+  [[nodiscard]] std::uint32_t digit(std::uint32_t x, unsigned j) const {
+    return (x / pow_[n_ - 1 - j]) % k_;
+  }
+
+  /// Queue a packet from input port `src` joins at stage 0.
+  [[nodiscard]] std::uint32_t entry_queue(std::uint32_t src,
+                                          std::uint32_t dst) const;
+
+  /// Queue the packet moves to at stage s+1, given its stage-s queue.
+  /// Requires s+1 < stages().
+  [[nodiscard]] std::uint32_t next_queue(unsigned s, std::uint32_t current,
+                                         std::uint32_t dst) const;
+
+  /// Output port a packet in stage-(n-1) queue `current` exits on.
+  [[nodiscard]] std::uint32_t exit_port(std::uint32_t current) const {
+    return current;
+  }
+
+  /// Perfect shuffle: left-rotate the base-k digits (Omega wiring).
+  [[nodiscard]] std::uint32_t shuffle(std::uint32_t x) const {
+    return (x % pow_[n_ - 1]) * k_ + x / pow_[n_ - 1];
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  /// Address with digit j replaced by d.
+  [[nodiscard]] std::uint32_t replace_digit(std::uint32_t x, unsigned j,
+                                            std::uint32_t d) const {
+    return x + (d - digit(x, j)) * pow_[n_ - 1 - j];
+  }
+
+  TopologyKind kind_;
+  unsigned k_;
+  unsigned n_;
+  std::vector<std::uint32_t> pow_;
+};
+
+}  // namespace ksw::sim

@@ -1,0 +1,76 @@
+#include "stats/accumulator.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace ksw::stats {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+// Defined out of line so the in-class default member initializers can use
+// infinities without dragging <limits> into the header for every client.
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = kInf;
+    max_ = -kInf;
+  }
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+
+  // Pébay's pairwise update for the third central moment sum.
+  m3_ += other.m3_ + delta2 * delta * na * nb * (na - nb) / (n * n) +
+         3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  m2_ += other.m2_ + delta2 * na * nb / n;
+  mean_ += delta * nb / n;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double Accumulator::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const noexcept {
+  return n_ < 1 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::sample_variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::skewness() const noexcept {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double Accumulator::sum() const noexcept {
+  return mean_ * static_cast<double>(n_);
+}
+
+}  // namespace ksw::stats

@@ -1,0 +1,70 @@
+// Streaming moment accumulators (Welford / Pébay update rules).
+//
+// The simulator feeds millions of per-packet waiting times through these;
+// they must be numerically stable (naive sum-of-squares cancels badly when
+// the mean is large, e.g. total delay through a 12-stage network at rho=0.8)
+// and mergeable so parallel replicates can be combined deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ksw::stats {
+
+/// Streaming accumulator for mean, variance, skewness, and extrema.
+///
+/// Uses Welford's algorithm extended to third central moments (Pébay 2008),
+/// which is stable for long streams. `merge` combines two accumulators as if
+/// their streams had been concatenated, enabling parallel reduction.
+class Accumulator {
+ public:
+  Accumulator() = default;
+
+  /// Add one observation.
+  void add(double x) noexcept;
+
+  /// Combine with another accumulator (order-independent up to FP rounding).
+  void merge(const Accumulator& other) noexcept;
+
+  /// Number of observations so far.
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Population variance (divide by n); 0 when n < 1.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Unbiased sample variance (divide by n-1); 0 when n < 2.
+  [[nodiscard]] double sample_variance() const noexcept;
+
+  /// Population standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standardized skewness  E[(x-mu)^3] / sigma^3; 0 when undefined.
+  [[nodiscard]] double skewness() const noexcept;
+
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept;
+
+  /// Reset to the empty state.
+  void reset() noexcept { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations
+  double m3_ = 0.0;  // sum of cubed deviations
+  double min_;
+  double max_;
+
+  friend class CovarianceAccumulator;
+};
+
+}  // namespace ksw::stats

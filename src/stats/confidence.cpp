@@ -1,0 +1,75 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/accumulator.hpp"
+#include "stats/special_functions.hpp"
+
+namespace ksw::stats {
+
+namespace {
+
+// Two-sided Student-t CDF: P(T <= t) with `dof` degrees of freedom.
+double student_t_cdf(double t, double dof) {
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * regularized_beta(dof / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+}  // namespace
+
+double student_t_critical(std::size_t dof, double level) {
+  if (dof < 1) throw std::invalid_argument("student_t_critical: dof < 1");
+  if (!(level > 0.0) || !(level < 1.0))
+    throw std::invalid_argument("student_t_critical: level not in (0,1)");
+  const double target = 0.5 + level / 2.0;
+  const double d = static_cast<double>(dof);
+  double lo = 0.0;
+  double hi = 2.0;
+  while (student_t_cdf(hi, d) < target) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, d) < target)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+ConfidenceInterval replicate_interval(std::span<const double> replicate_means,
+                                      double level) {
+  if (replicate_means.size() < 2)
+    throw std::invalid_argument(
+        "replicate_interval: need at least two replicates");
+  Accumulator acc;
+  for (double x : replicate_means) acc.add(x);
+  const double r = static_cast<double>(replicate_means.size());
+  const double se = std::sqrt(acc.sample_variance() / r);
+  const double t = student_t_critical(replicate_means.size() - 1, level);
+  return ConfidenceInterval{acc.mean(), t * se, replicate_means.size()};
+}
+
+ConfidenceInterval batch_means(std::span<const double> stream,
+                               std::size_t num_batches, double level) {
+  if (num_batches < 2)
+    throw std::invalid_argument("batch_means: need at least two batches");
+  const std::size_t batch_len = stream.size() / num_batches;
+  if (batch_len == 0)
+    throw std::invalid_argument("batch_means: stream shorter than batches");
+  Accumulator acc;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < batch_len; ++i)
+      s += stream[b * batch_len + i];
+    acc.add(s / static_cast<double>(batch_len));
+  }
+  const double se =
+      std::sqrt(acc.sample_variance() / static_cast<double>(num_batches));
+  const double t = student_t_critical(num_batches - 1, level);
+  return ConfidenceInterval{acc.mean(), t * se, num_batches};
+}
+
+}  // namespace ksw::stats

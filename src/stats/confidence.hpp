@@ -1,0 +1,46 @@
+// Confidence intervals for steady-state simulation output.
+//
+// Waiting times within one run are heavily autocorrelated, so a naive
+// i.i.d. interval is far too narrow. We provide:
+//   * replicate_interval — CI from R independent replicate means (the
+//     method ksw::par::replicate feeds); and
+//   * batch_means        — CI from non-overlapping batch means of a
+//     single long run.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ksw::stats {
+
+/// A two-sided confidence interval around a point estimate.
+struct ConfidenceInterval {
+  double point = 0.0;       ///< point estimate (grand mean)
+  double half_width = 0.0;  ///< half-width at the requested level
+  std::size_t samples = 0;  ///< number of (batch or replicate) means used
+
+  [[nodiscard]] double lower() const noexcept { return point - half_width; }
+  [[nodiscard]] double upper() const noexcept { return point + half_width; }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lower() && x <= upper();
+  }
+};
+
+/// Two-sided Student-t critical value t_{dof, (1+level)/2}.
+/// Exact for dof >= 1 via numeric inversion of the t CDF.
+[[nodiscard]] double student_t_critical(std::size_t dof, double level);
+
+/// CI of the mean from independent replicate means; `level` in (0,1),
+/// e.g. 0.95. Requires at least two replicates.
+[[nodiscard]] ConfidenceInterval replicate_interval(
+    std::span<const double> replicate_means, double level = 0.95);
+
+/// CI of the mean of a single autocorrelated stream using the method of
+/// non-overlapping batch means with `num_batches` batches. Observations
+/// beyond the last full batch are discarded. Requires at least two
+/// batches' worth of data.
+[[nodiscard]] ConfidenceInterval batch_means(std::span<const double> stream,
+                                             std::size_t num_batches = 32,
+                                             double level = 0.95);
+
+}  // namespace ksw::stats

@@ -1,0 +1,122 @@
+#include "stats/covariance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ksw::stats {
+
+void CovarianceAccumulator::add(double x, double y) noexcept {
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double dx = x - mx_;
+  const double dy = y - my_;
+  mx_ += dx / n;
+  my_ += dy / n;
+  // After updating my_, (y - my_) uses the new mean — standard online form.
+  sxy_ += dx * (y - my_);
+  sxx_ += dx * (x - mx_);
+  syy_ += dy * (y - my_);
+}
+
+void CovarianceAccumulator::merge(const CovarianceAccumulator& o) noexcept {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double n = na + nb;
+  const double dx = o.mx_ - mx_;
+  const double dy = o.my_ - my_;
+  sxy_ += o.sxy_ + dx * dy * na * nb / n;
+  sxx_ += o.sxx_ + dx * dx * na * nb / n;
+  syy_ += o.syy_ + dy * dy * na * nb / n;
+  mx_ += dx * nb / n;
+  my_ += dy * nb / n;
+  n_ += o.n_;
+}
+
+double CovarianceAccumulator::covariance() const noexcept {
+  return n_ < 1 ? 0.0 : sxy_ / static_cast<double>(n_);
+}
+
+double CovarianceAccumulator::variance_x() const noexcept {
+  return n_ < 1 ? 0.0 : sxx_ / static_cast<double>(n_);
+}
+
+double CovarianceAccumulator::variance_y() const noexcept {
+  return n_ < 1 ? 0.0 : syy_ / static_cast<double>(n_);
+}
+
+double CovarianceAccumulator::correlation() const noexcept {
+  const double denom = std::sqrt(sxx_ * syy_);
+  return denom > 0.0 ? sxy_ / denom : 0.0;
+}
+
+CovarianceMatrix::CovarianceMatrix(std::size_t dims)
+    : d_(dims), mean_(dims, 0.0), cov_(dims * (dims + 1) / 2, 0.0) {
+  if (dims == 0) throw std::invalid_argument("CovarianceMatrix: dims == 0");
+}
+
+double& CovarianceMatrix::c(std::size_t i, std::size_t j) {
+  if (i > j) std::swap(i, j);
+  return cov_[i * d_ - i * (i + 1) / 2 + j];
+}
+
+const double& CovarianceMatrix::c(std::size_t i, std::size_t j) const {
+  if (i > j) std::swap(i, j);
+  return cov_[i * d_ - i * (i + 1) / 2 + j];
+}
+
+void CovarianceMatrix::add(const std::vector<double>& sample) {
+  if (sample.size() != d_)
+    throw std::invalid_argument("CovarianceMatrix::add: dimension mismatch");
+  ++n_;
+  const double n = static_cast<double>(n_);
+  std::vector<double> delta(d_);
+  for (std::size_t i = 0; i < d_; ++i) delta[i] = sample[i] - mean_[i];
+  for (std::size_t i = 0; i < d_; ++i) mean_[i] += delta[i] / n;
+  const double w = (n - 1.0) / n;
+  for (std::size_t i = 0; i < d_; ++i)
+    for (std::size_t j = i; j < d_; ++j) c(i, j) += w * delta[i] * delta[j];
+}
+
+void CovarianceMatrix::merge(const CovarianceMatrix& o) {
+  if (o.d_ != d_)
+    throw std::invalid_argument("CovarianceMatrix::merge: dimension mismatch");
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double n = na + nb;
+  std::vector<double> delta(d_);
+  for (std::size_t i = 0; i < d_; ++i) delta[i] = o.mean_[i] - mean_[i];
+  const double w = na * nb / n;
+  for (std::size_t i = 0; i < d_; ++i)
+    for (std::size_t j = i; j < d_; ++j)
+      c(i, j) += o.c(i, j) + w * delta[i] * delta[j];
+  for (std::size_t i = 0; i < d_; ++i) mean_[i] += delta[i] * nb / n;
+  n_ += o.n_;
+}
+
+double CovarianceMatrix::mean(std::size_t i) const {
+  return n_ ? mean_.at(i) : 0.0;
+}
+
+double CovarianceMatrix::covariance(std::size_t i, std::size_t j) const {
+  if (i >= d_ || j >= d_)
+    throw std::out_of_range("CovarianceMatrix::covariance");
+  return n_ < 1 ? 0.0 : c(i, j) / static_cast<double>(n_);
+}
+
+double CovarianceMatrix::correlation(std::size_t i, std::size_t j) const {
+  const double denom =
+      std::sqrt(covariance(i, i) * covariance(j, j));
+  return denom > 0.0 ? covariance(i, j) / denom : 0.0;
+}
+
+}  // namespace ksw::stats

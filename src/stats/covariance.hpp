@@ -1,0 +1,62 @@
+// Streaming covariance / correlation between paired observations, and an
+// NxN matrix form used to measure inter-stage waiting-time correlations
+// (paper Table VI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/accumulator.hpp"
+
+namespace ksw::stats {
+
+/// Streaming covariance of paired observations (x_i, y_i), mergeable for
+/// parallel reduction like `Accumulator`.
+class CovarianceAccumulator {
+ public:
+  void add(double x, double y) noexcept;
+  void merge(const CovarianceAccumulator& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  /// Population covariance (divide by n); 0 when n < 1.
+  [[nodiscard]] double covariance() const noexcept;
+  /// Pearson correlation coefficient; 0 when either variance vanishes.
+  [[nodiscard]] double correlation() const noexcept;
+  [[nodiscard]] double mean_x() const noexcept { return n_ ? mx_ : 0.0; }
+  [[nodiscard]] double mean_y() const noexcept { return n_ ? my_ : 0.0; }
+  [[nodiscard]] double variance_x() const noexcept;
+  [[nodiscard]] double variance_y() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mx_ = 0.0, my_ = 0.0;
+  double sxx_ = 0.0, syy_ = 0.0, sxy_ = 0.0;
+};
+
+/// Symmetric matrix of pairwise covariances among D simultaneously observed
+/// variables (e.g., the waiting times of one message at each of D stages).
+class CovarianceMatrix {
+ public:
+  explicit CovarianceMatrix(std::size_t dims);
+
+  /// Add one joint observation; `sample.size()` must equal `dims()`.
+  void add(const std::vector<double>& sample);
+  void merge(const CovarianceMatrix& other);
+
+  [[nodiscard]] std::size_t dims() const noexcept { return d_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean(std::size_t i) const;
+  [[nodiscard]] double covariance(std::size_t i, std::size_t j) const;
+  [[nodiscard]] double correlation(std::size_t i, std::size_t j) const;
+
+ private:
+  [[nodiscard]] double& c(std::size_t i, std::size_t j);
+  [[nodiscard]] const double& c(std::size_t i, std::size_t j) const;
+
+  std::size_t d_;
+  std::uint64_t n_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> cov_;  // packed upper triangle, row-major
+};
+
+}  // namespace ksw::stats

@@ -1,0 +1,64 @@
+#include "stats/gamma_distribution.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace ksw::stats {
+
+GammaDistribution::GammaDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !(scale > 0.0))
+    throw std::invalid_argument("GammaDistribution: parameters must be > 0");
+}
+
+GammaDistribution GammaDistribution::from_moments(double mean,
+                                                  double variance) {
+  if (!(mean > 0.0) || !(variance > 0.0))
+    throw std::invalid_argument(
+        "GammaDistribution::from_moments: mean and variance must be > 0");
+  return GammaDistribution(mean * mean / variance, variance / mean);
+}
+
+double GammaDistribution::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    return shape_ == 1.0 ? 1.0 / scale_ : 0.0;
+  }
+  const double log_pdf = (shape_ - 1.0) * std::log(x) - x / scale_ -
+                         log_gamma(shape_) - shape_ * std::log(scale_);
+  return std::exp(log_pdf);
+}
+
+double GammaDistribution::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(shape_, x / scale_);
+}
+
+double GammaDistribution::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0))
+    throw std::invalid_argument("GammaDistribution::quantile: p not in (0,1)");
+  // Bracket: start from mean +- k sigma, widen geometrically.
+  double lo = 0.0;
+  double hi = mean() + 10.0 * std::sqrt(variance());
+  while (cdf(hi) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double GammaDistribution::interval_probability(double lo, double hi) const {
+  if (hi <= lo) return 0.0;
+  return cdf(hi) - cdf(lo);
+}
+
+}  // namespace ksw::stats

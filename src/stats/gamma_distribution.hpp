@@ -1,0 +1,37 @@
+// Gamma distribution, parameterized by (shape, scale) or fit by moment
+// matching. The paper approximates the total waiting-time distribution of a
+// multistage network by the gamma distribution whose mean and variance are
+// the Section-V estimates (Figs. 3-8).
+#pragma once
+
+namespace ksw::stats {
+
+/// Gamma(shape k, scale theta): pdf(x) = x^{k-1} e^{-x/theta} / (Gamma(k) theta^k).
+class GammaDistribution {
+ public:
+  GammaDistribution(double shape, double scale);
+
+  /// Distribution with the given mean and variance (moment matching):
+  /// shape = mean^2/var, scale = var/mean. Both must be positive.
+  static GammaDistribution from_moments(double mean, double variance);
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] double mean() const noexcept { return shape_ * scale_; }
+  [[nodiscard]] double variance() const noexcept {
+    return shape_ * scale_ * scale_;
+  }
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  /// Inverse CDF by bracketed bisection/Newton; p in (0,1).
+  [[nodiscard]] double quantile(double p) const;
+  /// P(lo < X <= hi) — probability mass the density assigns to a bin.
+  [[nodiscard]] double interval_probability(double lo, double hi) const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace ksw::stats

@@ -1,0 +1,97 @@
+#include "stats/goodness_of_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace ksw::stats {
+
+double discretized_model_pmf(const GammaDistribution& model, std::int64_t w) {
+  if (w < 0) return 0.0;
+  const double hi = static_cast<double>(w) + 0.5;
+  if (w == 0) return model.cdf(hi);
+  return model.interval_probability(static_cast<double>(w) - 0.5, hi);
+}
+
+double total_variation_distance(const IntHistogram& empirical,
+                                const GammaDistribution& model) {
+  const std::int64_t wmax = empirical.max_value();
+  double acc = 0.0;
+  double model_mass = 0.0;
+  for (std::int64_t w = 0; w <= wmax; ++w) {
+    const double pm = discretized_model_pmf(model, w);
+    model_mass += pm;
+    acc += std::abs(empirical.pmf(w) - pm);
+  }
+  // Model mass beyond the empirical support counts fully toward the
+  // distance (empirical pmf there is zero).
+  acc += std::max(0.0, 1.0 - model_mass);
+  return 0.5 * acc;
+}
+
+double binned_total_variation(const IntHistogram& empirical,
+                              const GammaDistribution& model,
+                              std::int64_t width) {
+  if (width <= 0)
+    throw std::invalid_argument("binned_total_variation: width <= 0");
+  const std::int64_t wmax = empirical.max_value();
+  double acc = 0.0;
+  double model_mass = 0.0;
+  for (std::int64_t lo = 0; lo <= wmax; lo += width) {
+    double emp = 0.0, mod = 0.0;
+    for (std::int64_t w = lo; w < lo + width; ++w) {
+      emp += empirical.pmf(w);
+      mod += discretized_model_pmf(model, w);
+    }
+    model_mass += mod;
+    acc += std::abs(emp - mod);
+  }
+  acc += std::max(0.0, 1.0 - model_mass);
+  return 0.5 * acc;
+}
+
+double ks_statistic(const IntHistogram& empirical,
+                    const GammaDistribution& model) {
+  const std::int64_t wmax = empirical.max_value();
+  double worst = 0.0;
+  for (std::int64_t w = 0; w <= wmax; ++w) {
+    const double d = std::abs(empirical.cdf(w) -
+                              model.cdf(static_cast<double>(w) + 0.5));
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+double chi_square_statistic(const IntHistogram& empirical,
+                            const GammaDistribution& model,
+                            double min_expected) {
+  const std::int64_t wmax = empirical.max_value();
+  const double n = static_cast<double>(empirical.total());
+  if (n == 0.0) return 0.0;
+  double stat = 0.0;
+  double pooled_obs = 0.0;
+  double pooled_exp = 0.0;
+  for (std::int64_t w = 0; w <= wmax; ++w) {
+    pooled_obs += static_cast<double>(empirical.count(w));
+    pooled_exp += n * discretized_model_pmf(model, w);
+    if (pooled_exp >= min_expected) {
+      const double d = pooled_obs - pooled_exp;
+      stat += d * d / pooled_exp;
+      pooled_obs = 0.0;
+      pooled_exp = 0.0;
+    }
+  }
+  // Close the final cell with the model's remaining tail mass.
+  pooled_exp += n * regularized_gamma_q(model.shape(),
+                                        (static_cast<double>(wmax) + 0.5) /
+                                            model.scale());
+  if (pooled_exp > 0.0) {
+    const double d = pooled_obs - pooled_exp;
+    stat += d * d / pooled_exp;
+  }
+  return stat;
+}
+
+}  // namespace ksw::stats

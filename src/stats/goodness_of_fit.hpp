@@ -1,0 +1,44 @@
+// Goodness-of-fit measures between an empirical integer histogram and a
+// continuous model distribution (the gamma approximation of Section V).
+//
+// A waiting time of w cycles is compared against the model mass on
+// (w - 1/2, w + 1/2] — the standard continuity-corrected discretization —
+// except w = 0, which takes the model mass on (-inf, 1/2].
+#pragma once
+
+#include <cstdint>
+
+#include "stats/gamma_distribution.hpp"
+#include "stats/histogram.hpp"
+
+namespace ksw::stats {
+
+/// Total-variation distance: (1/2) sum_w |p_emp(w) - p_model(w)|.
+/// 0 = perfect match, 1 = disjoint supports.
+[[nodiscard]] double total_variation_distance(const IntHistogram& empirical,
+                                              const GammaDistribution& model);
+
+/// Total-variation distance over bins of `width` consecutive integers.
+/// Lattice-like data (e.g. multi-packet messages, whose totals cluster on
+/// residues of the message size) compares fairly against a continuous
+/// model only after binning — this is what the paper's figures plot.
+[[nodiscard]] double binned_total_variation(const IntHistogram& empirical,
+                                            const GammaDistribution& model,
+                                            std::int64_t width);
+
+/// Kolmogorov-Smirnov statistic sup_w |F_emp(w) - F_model(w + 1/2)|.
+[[nodiscard]] double ks_statistic(const IntHistogram& empirical,
+                                  const GammaDistribution& model);
+
+/// Pearson chi-square statistic over all values with model mass above
+/// `min_expected / n`; adjacent low-mass tail cells are pooled.
+[[nodiscard]] double chi_square_statistic(const IntHistogram& empirical,
+                                          const GammaDistribution& model,
+                                          double min_expected = 5.0);
+
+/// Model probability assigned to integer value w under the continuity
+/// correction described above.
+[[nodiscard]] double discretized_model_pmf(const GammaDistribution& model,
+                                           std::int64_t w);
+
+}  // namespace ksw::stats

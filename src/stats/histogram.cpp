@@ -1,0 +1,103 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ksw::stats {
+
+void IntHistogram::add(std::int64_t v) { add(v, 1); }
+
+void IntHistogram::add(std::int64_t v, std::uint64_t count) {
+  if (v < 0) throw std::invalid_argument("IntHistogram::add: negative value");
+  const auto idx = static_cast<std::size_t>(v);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += count;
+  total_ += count;
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  if (other.counts_.size() > counts_.size())
+    counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::int64_t IntHistogram::max_value() const noexcept {
+  for (std::size_t i = counts_.size(); i-- > 0;)
+    if (counts_[i] != 0) return static_cast<std::int64_t>(i);
+  return -1;
+}
+
+std::uint64_t IntHistogram::count(std::int64_t v) const noexcept {
+  if (v < 0 || static_cast<std::size_t>(v) >= counts_.size()) return 0;
+  return counts_[static_cast<std::size_t>(v)];
+}
+
+double IntHistogram::pmf(std::int64_t v) const noexcept {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(count(v)) /
+                           static_cast<double>(total_);
+}
+
+double IntHistogram::cdf(std::int64_t v) const noexcept {
+  if (total_ == 0 || v < 0) return 0.0;
+  std::uint64_t acc = 0;
+  const auto stop = std::min<std::size_t>(static_cast<std::size_t>(v) + 1,
+                                          counts_.size());
+  for (std::size_t i = 0; i < stop; ++i) acc += counts_[i];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::int64_t IntHistogram::quantile(double p) const {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("IntHistogram::quantile: p outside [0,1]");
+  if (total_ == 0) return -1;
+  const double target = p * static_cast<double>(total_);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    if (static_cast<double>(acc) >= target && counts_[i] > 0)
+      return static_cast<std::int64_t>(i);
+    if (static_cast<double>(acc) >= target) {
+      // Land on the next populated value.
+      for (std::size_t j = i; j < counts_.size(); ++j)
+        if (counts_[j] > 0) return static_cast<std::int64_t>(j);
+    }
+  }
+  return max_value();
+}
+
+double IntHistogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    s += static_cast<double>(i) * static_cast<double>(counts_[i]);
+  return s / static_cast<double>(total_);
+}
+
+double IntHistogram::variance() const noexcept {
+  if (total_ == 0) return 0.0;
+  const double mu = mean();
+  double s = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double d = static_cast<double>(i) - mu;
+    s += d * d * static_cast<double>(counts_[i]);
+  }
+  return s / static_cast<double>(total_);
+}
+
+std::vector<double> IntHistogram::binned_pmf(std::int64_t width) const {
+  if (width <= 0)
+    throw std::invalid_argument("IntHistogram::binned_pmf: width <= 0");
+  std::vector<double> out;
+  if (total_ == 0) return out;
+  const auto w = static_cast<std::size_t>(width);
+  out.resize((counts_.size() + w - 1) / w, 0.0);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i / w] += static_cast<double>(counts_[i]);
+  for (double& x : out) x /= static_cast<double>(total_);
+  return out;
+}
+
+}  // namespace ksw::stats

@@ -1,0 +1,48 @@
+// Integer-valued and fixed-bin histograms.
+//
+// Waiting times in a clocked network are integers (cycles), so the primary
+// histogram is an auto-growing integer tally; a binned view on top of it
+// produces the coarse probability plots of the paper's Figs. 3-8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ksw::stats {
+
+/// Exact tally of non-negative integer observations (waiting times in
+/// cycles). Grows on demand; mergeable for parallel reduction.
+class IntHistogram {
+ public:
+  /// Record one observation of value `v` (v >= 0).
+  void add(std::int64_t v);
+
+  /// Record `count` observations of value `v`.
+  void add(std::int64_t v, std::uint64_t count);
+
+  void merge(const IntHistogram& other);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Largest value observed so far; -1 when empty.
+  [[nodiscard]] std::int64_t max_value() const noexcept;
+  /// Raw count at value v (0 when never observed).
+  [[nodiscard]] std::uint64_t count(std::int64_t v) const noexcept;
+  /// Empirical probability mass at value v.
+  [[nodiscard]] double pmf(std::int64_t v) const noexcept;
+  /// Empirical P(X <= v).
+  [[nodiscard]] double cdf(std::int64_t v) const noexcept;
+  /// Smallest v with cdf(v) >= p (p in [0,1]); -1 when empty.
+  [[nodiscard]] std::int64_t quantile(double p) const;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Probability masses aggregated into consecutive bins of `width` values,
+  /// covering [0, max_value()]. Used for coarse paper-style histograms.
+  [[nodiscard]] std::vector<double> binned_pmf(std::int64_t width) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ksw::stats

@@ -1,0 +1,28 @@
+// Special functions needed for the gamma-distribution approximation of the
+// total waiting time (paper Section V, Figs. 3-8).
+//
+// Self-contained implementations (Lanczos lgamma, series/continued-fraction
+// regularized incomplete gamma) so results are reproducible across libm
+// versions.
+#pragma once
+
+namespace ksw::stats {
+
+/// log(Gamma(x)) for x > 0 (Lanczos approximation, ~1e-13 relative error).
+[[nodiscard]] double log_gamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a),
+/// for a > 0, x >= 0. P is the CDF of a Gamma(shape=a, scale=1) variate.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
+/// Error function computed via the incomplete gamma relation.
+[[nodiscard]] double error_function(double x);
+
+/// Regularized incomplete beta I_x(a, b) for a,b > 0 and x in [0,1].
+/// Used for the Student-t CDF in confidence-interval construction.
+[[nodiscard]] double regularized_beta(double a, double b, double x);
+
+}  // namespace ksw::stats

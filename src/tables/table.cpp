@@ -1,0 +1,75 @@
+#include "tables/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ksw::tables {
+
+std::string format_number(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+Table& Table::begin_row(std::string label) {
+  rows_.emplace_back();
+  rows_.back().push_back(std::move(label));
+  return *this;
+}
+
+Table& Table::add_cell(std::string text) {
+  if (rows_.empty()) rows_.emplace_back();  // cell becomes the row label
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::add_number(double value, int precision) {
+  return add_cell(format_number(value, precision));
+}
+
+Table& Table::add_blank() { return add_cell(""); }
+
+void Table::print(std::ostream& os) const {
+  const std::size_t cols = headers_.size();
+  std::vector<std::size_t> width(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < std::min(cols, row.size()); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < cols; ++c)
+      os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  os << title_ << '\n';
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < cols; ++c) {
+    os << ' ' << std::setw(static_cast<int>(width[c]))
+       << (c == 0 ? std::left : std::right) << headers_[c] << " |";
+    os << std::right;
+  }
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << ' ' << std::setw(static_cast<int>(width[c]))
+         << (c == 0 ? std::left : std::right) << cell << " |";
+      os << std::right;
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+}  // namespace ksw::tables

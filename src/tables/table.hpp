@@ -1,0 +1,36 @@
+// ASCII table builder used by the bench harnesses to print paper-style
+// tables (SIMULATION / ANALYSIS / ESTIMATE rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ksw::tables {
+
+/// A simple right-aligned ASCII table with a title and column headers.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Start a new row labelled `label`; fill it with add_cell / add_number.
+  Table& begin_row(std::string label);
+  Table& add_cell(std::string text);
+  /// Formats with the given precision (fixed notation).
+  Table& add_number(double value, int precision = 4);
+  /// Shorthand for an empty cell.
+  Table& add_blank();
+
+  /// Render to a stream with box-drawing rules.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared by benches).
+[[nodiscard]] std::string format_number(double value, int precision = 4);
+
+}  // namespace ksw::tables

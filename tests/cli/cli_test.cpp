@@ -1,0 +1,229 @@
+#include "kswsim/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ksw::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult invoke(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+// ---------------------------------------------------------------------------
+// ArgMap
+// ---------------------------------------------------------------------------
+
+TEST(ArgMap, ParsesKeyValuesFlagsAndPositionals) {
+  const auto args =
+      ArgMap::parse({"--k=4", "--verbose", "input.txt", "--p=0.25"});
+  EXPECT_EQ(args.get_unsigned("k", 0), 4u);
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.25);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+}
+
+TEST(ArgMap, FallbacksForMissingKeys) {
+  const auto args = ArgMap::parse({});
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.get_int("missing", -7), -7);
+  EXPECT_FALSE(args.get_flag("missing"));
+}
+
+TEST(ArgMap, RejectsMalformedInput) {
+  EXPECT_THROW(ArgMap::parse({"--=x"}), std::invalid_argument);
+  const auto args = ArgMap::parse({"--k=abc", "--f=maybe"});
+  EXPECT_THROW(args.get_unsigned("k", 1), std::invalid_argument);
+  EXPECT_THROW(args.get_flag("f"), std::invalid_argument);
+}
+
+TEST(ArgMap, TracksUnusedOptions) {
+  const auto args = ArgMap::parse({"--used=1", "--stray=2"});
+  (void)args.get_int("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "stray");
+}
+
+TEST(ArgMap, OutOfRangeUnsigned) {
+  const auto args = ArgMap::parse({"--n=-3"});
+  EXPECT_THROW(args.get_unsigned("n", 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Service-spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(ServiceParse, Deterministic) {
+  EXPECT_DOUBLE_EQ(parse_service("det:4").mean(), 4.0);
+  EXPECT_TRUE(parse_service("det:1").is_unit());
+}
+
+TEST(ServiceParse, Geometric) {
+  EXPECT_DOUBLE_EQ(parse_service("geo:0.25").mean(), 4.0);
+}
+
+TEST(ServiceParse, MultiSize) {
+  EXPECT_DOUBLE_EQ(parse_service("multi:4@0.5,8@0.5").mean(), 6.0);
+}
+
+TEST(ServiceParse, RejectsBadSpecs) {
+  EXPECT_THROW(parse_service("det"), std::invalid_argument);
+  EXPECT_THROW(parse_service("det:0"), std::invalid_argument);
+  EXPECT_THROW(parse_service("unknown:3"), std::invalid_argument);
+  EXPECT_THROW(parse_service("multi:4@0.5,8"), std::invalid_argument);
+  EXPECT_THROW(parse_service("multi:4@0.5,8@0.6"), std::invalid_argument);
+  EXPECT_THROW(parse_service("geo:2.0"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Command dispatch and end-to-end behavior
+// ---------------------------------------------------------------------------
+
+TEST(Run, NoArgsPrintsUsageWithError) {
+  const auto r = invoke({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("usage: kswsim"), std::string::npos);
+}
+
+TEST(Run, HelpExitsZero) {
+  EXPECT_EQ(invoke({"--help"}).code, 0);
+  EXPECT_EQ(invoke({"analyze", "--help"}).code, 0);
+}
+
+TEST(Run, UnknownCommandFails) {
+  const auto r = invoke({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Run, UnknownOptionFails) {
+  const auto r = invoke({"analyze", "--bogus=1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--bogus"), std::string::npos);
+}
+
+TEST(Analyze, TableOutputContainsPaperValues) {
+  const auto r = invoke({"analyze", "--k=2", "--p=0.5"});
+  EXPECT_EQ(r.code, 0);
+  // eqs. 6 and 7 at this operating point: both 0.25.
+  EXPECT_NE(r.out.find("0.250000"), std::string::npos);
+  EXPECT_NE(r.out.find("E[wait]"), std::string::npos);
+}
+
+TEST(Analyze, JsonOutputIsWellFormedAndAccurate) {
+  const auto r = invoke({"analyze", "--k=2", "--p=0.5", "--format=json"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("\"mean_wait\": 0.25"), std::string::npos);
+  EXPECT_NE(r.out.find("\"rho\": 0.5"), std::string::npos);
+}
+
+TEST(Analyze, DistributionOption) {
+  const auto r = invoke(
+      {"analyze", "--k=2", "--p=0.5", "--distribution=4", "--format=csv"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("P(w=0)"), std::string::npos);
+  EXPECT_NE(r.out.find("P(w=3)"), std::string::npos);
+}
+
+TEST(Analyze, UnstableLoadReportsError) {
+  const auto r = invoke({"analyze", "--k=2", "--p=1.0"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("rho"), std::string::npos);
+}
+
+TEST(Analyze, NonuniformRequiresSquareSwitch) {
+  const auto r = invoke({"analyze", "--k=4", "--s=2", "--q=0.5"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("k == s"), std::string::npos);
+}
+
+TEST(Network, TableListsAllStagesAndTotals) {
+  const auto r = invoke({"network", "--stages=5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("E[total wait]"), std::string::npos);
+  EXPECT_NE(r.out.find("p99 wait"), std::string::npos);
+}
+
+TEST(Network, CsvHasOneRowPerStagePlusTotal) {
+  const auto r = invoke({"network", "--stages=4", "--format=csv"});
+  EXPECT_EQ(r.code, 0);
+  int lines = 0;
+  for (char c : r.out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 1 + 4 + 1);  // header + stages + total
+}
+
+TEST(Network, CustomQuantiles) {
+  const auto r = invoke({"network", "--stages=3", "--quantiles=0.5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("p50 wait"), std::string::npos);
+  const auto bad = invoke({"network", "--quantiles=1.5"});
+  EXPECT_EQ(bad.code, 1);
+}
+
+TEST(Network, FractionalQuantileLabels) {
+  const auto r = invoke({"network", "--stages=3", "--quantiles=0.999"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("p99.9 wait"), std::string::npos);
+  EXPECT_EQ(r.out.find("p100"), std::string::npos);
+}
+
+TEST(Simulate, SmallRunProducesStats) {
+  const auto r = invoke({"simulate", "--stages=3", "--cycles=2000",
+                         "--checkpoints=3", "--format=json"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("\"per_stage\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"totals\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"packets_delivered\""), std::string::npos);
+}
+
+TEST(Simulate, ReplicatesAreDeterministic) {
+  const std::vector<std::string> args = {"simulate",     "--stages=3",
+                                         "--cycles=1000", "--replicates=3",
+                                         "--threads=2",   "--format=csv"};
+  const auto a = invoke(args);
+  const auto b = invoke(args);
+  EXPECT_EQ(a.code, 0);
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Simulate, HotspotSkewsLastStage) {
+  const auto r = invoke({"simulate", "--stages=3", "--cycles=4000",
+                         "--p=0.3", "--hotspot=0.3", "--format=csv"});
+  EXPECT_EQ(r.code, 0);
+}
+
+TEST(Simulate, OmegaTopologySelectable) {
+  const auto r = invoke({"simulate", "--stages=3", "--cycles=2000",
+                         "--topology=omega", "--format=csv"});
+  EXPECT_EQ(r.code, 0);
+  const auto bad = invoke({"simulate", "--topology=mesh"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("butterfly|omega"), std::string::npos);
+}
+
+TEST(Calibrate, RecoversPaperConstantsApproximately) {
+  const auto r =
+      invoke({"calibrate", "--cycles=40000", "--format=json"});
+  EXPECT_EQ(r.code, 0);
+  // mean_coeff should be near 0.8.
+  const auto pos = r.out.find("\"mean_coeff\": 0.");
+  ASSERT_NE(pos, std::string::npos);
+  const double v = std::stod(r.out.substr(pos + 14));
+  EXPECT_NEAR(v, 0.8, 0.15);
+}
+
+}  // namespace
+}  // namespace ksw::cli

@@ -1,0 +1,88 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ksw::core {
+namespace {
+
+TEST(LimitEstimate, AveragesTail) {
+  const std::vector<StageObservation> obs = {
+      {1, 0.25, 0.25}, {2, 0.28, 0.30}, {3, 0.30, 0.34}, {4, 0.30, 0.34}};
+  const auto lim = limit_estimate(obs, 2);
+  EXPECT_NEAR(lim.mean, 0.30, 1e-12);
+  EXPECT_NEAR(lim.variance, 0.34, 1e-12);
+  EXPECT_THROW(limit_estimate({}), std::invalid_argument);
+}
+
+TEST(FitMeanCoeff, RecoversPaperValue) {
+  // The paper's own fit: w1 = 0.25, w_inf ~ 0.3 at rho = 0.5, k = 2 gives
+  // coefficient 4/5 in "1 + (4/5) rho/k".
+  EXPECT_NEAR(fit_mean_coeff(0.25, 0.30, 0.5, 2), 0.8, 1e-12);
+  EXPECT_THROW(fit_mean_coeff(0.0, 0.3, 0.5, 2), std::invalid_argument);
+}
+
+TEST(FitStageRate, RecoversSyntheticRate) {
+  // Generate stage means from the eq. 12 model with a = 0.35 and check the
+  // fit recovers it.
+  const double w1 = 0.25, w_inf = 0.31, a = 0.35;
+  std::vector<StageObservation> obs;
+  for (unsigned i = 1; i <= 8; ++i) {
+    const double wi =
+        w1 + (w_inf - w1) * (1.0 - std::pow(a, static_cast<double>(i - 1)));
+    obs.push_back({i, wi, 0.0});
+  }
+  EXPECT_NEAR(fit_stage_rate(obs, w1, w_inf), a, 1e-9);
+}
+
+TEST(FitStageRate, ToleratesNoisyTail) {
+  const double w1 = 0.25, w_inf = 0.31, a = 0.4;
+  std::vector<StageObservation> obs;
+  for (unsigned i = 1; i <= 8; ++i) {
+    double wi =
+        w1 + (w_inf - w1) * (1.0 - std::pow(a, static_cast<double>(i - 1)));
+    if (i >= 7) wi = w_inf + 0.001;  // noise past the limit
+    obs.push_back({i, wi, 0.0});
+  }
+  EXPECT_NEAR(fit_stage_rate(obs, w1, w_inf), a, 0.05);
+}
+
+TEST(FitStageRate, RejectsDegenerateInput) {
+  const std::vector<StageObservation> only_first = {{1, 0.25, 0.0}};
+  EXPECT_THROW(fit_stage_rate(only_first, 0.25, 0.25),
+               std::invalid_argument);
+}
+
+TEST(FitVarCoeffs, RecoversSyntheticCoefficients) {
+  // v_inf/v1 = 1 + 1.2 rho/k + 0.7 rho^2/k.
+  const unsigned k = 2;
+  std::vector<VarPoint> pts;
+  for (double rho : {0.2, 0.4, 0.6, 0.8}) {
+    const double v1 = 0.1 + rho;  // arbitrary positive baseline
+    const double ratio = 1.0 + 1.2 * rho / k + 0.7 * rho * rho / k;
+    pts.push_back({rho, v1, ratio * v1});
+  }
+  const auto [lin, quad] = fit_var_coeffs(pts, k);
+  EXPECT_NEAR(lin, 1.2, 1e-9);
+  EXPECT_NEAR(quad, 0.7, 1e-9);
+}
+
+TEST(FitVarCoeffs, RejectsBadInput) {
+  std::vector<VarPoint> one = {{0.5, 0.25, 0.3}};
+  EXPECT_THROW(fit_var_coeffs(one, 2), std::invalid_argument);
+  std::vector<VarPoint> collinear = {{0.0, 1.0, 1.0}, {0.0, 1.0, 1.0}};
+  EXPECT_THROW(fit_var_coeffs(collinear, 2), std::invalid_argument);
+}
+
+TEST(FitLinearSlope, RecoversSlope) {
+  std::vector<SlopePoint> pts;
+  for (double q : {0.1, 0.3, 0.5, 0.9}) pts.push_back({q, 1.0 - 0.45 * q});
+  EXPECT_NEAR(fit_linear_slope(pts), -0.45, 1e-12);
+  std::vector<SlopePoint> zeros = {{0.0, 1.0}};
+  EXPECT_THROW(fit_linear_slope(zeros), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ksw::core

@@ -1,0 +1,153 @@
+// Internal-consistency checks among the paper's printed formulas and
+// against hand-computed anchor values.
+#include "core/closed_forms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ksw::core::closed {
+namespace {
+
+TEST(Eq2, ReducesToEq4ForUnitService) {
+  // m = 1, U''(1) = 0.
+  for (double lambda : {0.2, 0.5, 0.8})
+    for (double r2 : {0.05, 0.2, 0.5})
+      EXPECT_NEAR(eq2_mean(lambda, 1.0, r2, 0.0), eq4_mean(lambda, r2),
+                  1e-14);
+}
+
+TEST(Eq3, ReducesToEq5ForUnitService) {
+  for (double lambda : {0.2, 0.5, 0.8})
+    for (double r2 : {0.05, 0.2})
+      for (double r3 : {0.0, 0.02, 0.1})
+        EXPECT_NEAR(eq3_variance(lambda, 1.0, r2, r3, 0.0, 0.0),
+                    eq5_variance(lambda, r2, r3), 1e-12);
+}
+
+TEST(Eq6Eq7, PaperAnchorValues) {
+  // k = 2, p = 0.5: w1 = 0.25, v1 = 0.25 (used throughout Section IV).
+  EXPECT_NEAR(eq6_mean(2, 2, 0.5), 0.25, 1e-12);
+  EXPECT_NEAR(eq7_variance(2, 2, 0.5), 0.25, 1e-12);
+  // Light traffic: w1 ~ (1-1/k) p / 2.
+  EXPECT_NEAR(eq6_mean(2, 2, 0.01), 0.5 * 0.01 / (2.0 * 0.99), 1e-12);
+}
+
+TEST(Eq6, LargerSwitchesWaitLonger) {
+  // At fixed rho, (1-1/k) grows with k.
+  EXPECT_LT(eq6_mean(2, 2, 0.5), eq6_mean(4, 4, 0.5));
+  EXPECT_LT(eq6_mean(4, 4, 0.5), eq6_mean(8, 8, 0.5));
+}
+
+TEST(Eq6, SingleInputNeverWaits) {
+  EXPECT_NEAR(eq6_mean(1, 1, 0.5), 0.0, 1e-15);
+  EXPECT_NEAR(eq7_variance(1, 1, 0.5), 0.0, 1e-15);
+}
+
+TEST(Bulk, MeanGrowsLinearlyInB) {
+  // At fixed rho = b k p / s, E(w) ~ (b-1)/(2(1-rho)) + uniform part.
+  const double rho = 0.5;
+  for (unsigned b : {2u, 4u, 8u}) {
+    const double p = rho / static_cast<double>(b);
+    const double expected =
+        (static_cast<double>(b) - 1.0 + 0.5 * rho) / (2.0 * (1.0 - rho));
+    EXPECT_NEAR(bulk_mean(2, 2, p, b), expected, 1e-12);
+  }
+}
+
+TEST(Bulk, R2R3MatchPaper) {
+  const unsigned k = 2, s = 2, b = 4;
+  const double p = 0.1;
+  const double lambda = 4.0 * 0.1;
+  EXPECT_NEAR(bulk_r2(k, s, p, b), lambda * (3.0 + 0.5 * lambda), 1e-12);
+  EXPECT_NEAR(bulk_r3(k, s, p, b),
+              lambda * (3.0 * 2.0 + 3.0 * lambda * 0.5 * 3.0 +
+                        lambda * lambda * 0.5 * 0.0),
+              1e-12);
+}
+
+TEST(Nonuniform, QZeroMatchesUniform) {
+  for (unsigned k : {2u, 4u}) {
+    EXPECT_NEAR(nonuniform_mean(k, 0.5, 0.0), eq6_mean(k, k, 0.5), 1e-12);
+    EXPECT_NEAR(nonuniform_variance(k, 0.5, 0.0), eq7_variance(k, k, 0.5),
+                1e-12);
+  }
+}
+
+TEST(Nonuniform, QOneIsContentionFree) {
+  // Paper III-A-3: "for q = 1, we get E(w) = 0".
+  EXPECT_NEAR(nonuniform_mean(2, 0.5, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(nonuniform_mean(8, 0.9, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(nonuniform_variance(4, 0.5, 1.0), 0.0, 1e-12);
+}
+
+TEST(Nonuniform, MeanDecreasesInQ) {
+  double prev = 1e9;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double w = nonuniform_mean(2, 0.5, q);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Geometric, MuOneMatchesUnitService) {
+  EXPECT_NEAR(geometric_mean(2, 2, 0.5, 1.0), eq6_mean(2, 2, 0.5), 1e-12);
+  EXPECT_NEAR(geometric_variance(2, 2, 0.5, 1.0), eq7_variance(2, 2, 0.5),
+              1e-12);
+}
+
+TEST(Geometric, LongerServiceWaitsLonger) {
+  // Fixed rho = 0.5; decreasing mu means longer messages.
+  double prev = 0.0;
+  for (double mu : {1.0, 0.5, 0.25, 0.125}) {
+    const double p = 0.5 * mu;
+    const double w = geometric_mean(2, 2, p, mu);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Eq8, MatchesEq6ForUnitService) {
+  for (double p : {0.2, 0.5, 0.8})
+    EXPECT_NEAR(eq8_mean(2, 2, p, 1), eq6_mean(2, 2, p), 1e-12);
+}
+
+TEST(Eq9, MatchesEq7ForUnitService) {
+  for (double p : {0.2, 0.5, 0.8})
+    EXPECT_NEAR(eq9_variance(2, 2, p, 1), eq7_variance(2, 2, p), 1e-12);
+}
+
+TEST(Eq8, WaitingGrowsLinearlyInMessageSize) {
+  // Section VI: "for a fixed traffic intensity rho, the average waiting
+  // time increases linearly in m".
+  const double rho = 0.5;
+  const double w4 = eq8_mean(2, 2, rho / 4.0, 4);
+  const double w8 = eq8_mean(2, 2, rho / 8.0, 8);
+  const double w16 = eq8_mean(2, 2, rho / 16.0, 16);
+  // E(w) = rho (m - 1/k) / (2(1-rho)): ratios approach 2 from above.
+  EXPECT_NEAR(w8 / w4, (8.0 - 0.5) / (4.0 - 0.5), 1e-12);
+  EXPECT_GT(w8 / w4, 2.0);
+  EXPECT_LT(w16 / w8, w8 / w4);
+}
+
+TEST(Eq9, VarianceGrowsQuadraticallyInMessageSize) {
+  // Section VI: "the variance increases quadratically in m".
+  const double rho = 0.5;
+  const double v4 = eq9_variance(2, 2, rho / 4.0, 4);
+  const double v8 = eq9_variance(2, 2, rho / 8.0, 8);
+  const double v16 = eq9_variance(2, 2, rho / 16.0, 16);
+  // Ratios approach 4 as m grows.
+  EXPECT_NEAR(v8 / v4, 4.0, 0.7);
+  EXPECT_NEAR(v16 / v8, 4.0, 0.35);
+  EXPECT_LT(std::abs(v16 / v8 - 4.0), std::abs(v8 / v4 - 4.0));
+}
+
+TEST(Stability, RejectsOverload) {
+  EXPECT_THROW(eq6_mean(2, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(eq8_mean(2, 2, 0.3, 4), std::invalid_argument);
+  EXPECT_THROW(bulk_mean(2, 2, 0.3, 4), std::invalid_argument);
+  EXPECT_THROW(eq2_mean(0.5, 2.0, 0.1, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ksw::core::closed

@@ -1,0 +1,188 @@
+#include "core/later_stages.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/closed_forms.hpp"
+
+namespace ksw::core {
+namespace {
+
+NetworkTrafficSpec unit_spec(unsigned k, double p) {
+  NetworkTrafficSpec spec;
+  spec.k = k;
+  spec.p = p;
+  return spec;
+}
+
+TEST(NetworkTrafficSpec, RhoComposition) {
+  NetworkTrafficSpec spec;
+  spec.p = 0.125;
+  spec.bulk = 2;
+  spec.service = std::make_shared<DeterministicService>(2);
+  EXPECT_NEAR(spec.lambda(), 0.25, 1e-12);
+  EXPECT_NEAR(spec.rho(), 0.5, 1e-12);
+}
+
+TEST(LaterStages, PaperEstimateAnchorsUnitService) {
+  // k = 2, rho = 0.5, m = 1 (paper Tables I/V ESTIMATE row):
+  // w1 = 0.25, w_inf = 0.30, v1 = 0.25, v_inf = 0.34375.
+  const LaterStages ls(unit_spec(2, 0.5));
+  EXPECT_NEAR(ls.mean_first_stage(), 0.25, 1e-12);
+  EXPECT_NEAR(ls.mean_limit(), 0.30, 1e-12);
+  EXPECT_NEAR(ls.variance_first_stage(), 0.25, 1e-12);
+  EXPECT_NEAR(ls.variance_limit(), 0.34375, 1e-12);
+}
+
+TEST(LaterStages, RatioShrinksWithSwitchSize) {
+  // Section IV-A: a ~ 0.4 at k=2, ~0.2 at k=4, ~0.1 at k=8.
+  for (unsigned k : {2u, 4u, 8u}) {
+    const LaterStages ls(unit_spec(k, 0.5));
+    const double ratio = ls.mean_limit() / ls.mean_first_stage();
+    EXPECT_NEAR(ratio, 1.0 + 0.4 / static_cast<double>(k), 1e-12);
+  }
+}
+
+TEST(LaterStages, StageSequenceApproachesLimitGeometrically) {
+  const LaterStages ls(unit_spec(2, 0.5));
+  double prev = ls.mean_at_stage(1);
+  for (unsigned i = 2; i <= 10; ++i) {
+    const double cur = ls.mean_at_stage(i);
+    EXPECT_GT(cur, prev);
+    EXPECT_LE(cur, ls.mean_limit() + 1e-12);
+    prev = cur;
+  }
+  // Residuals shrink by the stage rate a = 2/5 each stage.
+  const double r3 = ls.mean_limit() - ls.mean_at_stage(3);
+  const double r4 = ls.mean_limit() - ls.mean_at_stage(4);
+  EXPECT_NEAR(r4 / r3, 0.4, 1e-9);
+}
+
+TEST(LaterStages, StageOneIsExact) {
+  const LaterStages ls(unit_spec(2, 0.5));
+  EXPECT_DOUBLE_EQ(ls.mean_at_stage(1), ls.mean_first_stage());
+  EXPECT_DOUBLE_EQ(ls.variance_at_stage(1), ls.variance_first_stage());
+  EXPECT_THROW(ls.mean_at_stage(0), std::invalid_argument);
+}
+
+TEST(LaterStages, PaperEstimateAnchorsMessageSize) {
+  // Paper Table III ESTIMATE row (rho = 0.5, k = 2):
+  // m = 2 -> w_inf = 0.600, v_inf = 1.1667
+  // m = 4 -> 1.200 / 4.667;  m = 8 -> 2.400 / 18.67.
+  for (unsigned m : {2u, 4u, 8u, 16u}) {
+    NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = 0.5 / static_cast<double>(m);
+    spec.service = std::make_shared<DeterministicService>(m);
+    const LaterStages ls(spec);
+    const double md = m;
+    EXPECT_NEAR(ls.mean_limit(), 0.3 * md, 1e-9) << "m=" << m;
+    EXPECT_NEAR(ls.variance_limit(), md * md * (7.0 / 6.0) * 0.25, 1e-9)
+        << "m=" << m;
+  }
+}
+
+TEST(LaterStages, MessageSizeLimitUsedForAllLaterStages) {
+  NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.125;
+  spec.service = std::make_shared<DeterministicService>(4);
+  const LaterStages ls(spec);
+  EXPECT_DOUBLE_EQ(ls.mean_at_stage(2), ls.mean_limit());
+  EXPECT_DOUBLE_EQ(ls.mean_at_stage(7), ls.mean_limit());
+  // First stage is the exact eq. (8) value, larger than the smoothed
+  // interior stages.
+  EXPECT_NEAR(ls.mean_at_stage(1), closed::eq8_mean(2, 2, 0.125, 4), 1e-12);
+  EXPECT_GT(ls.mean_at_stage(1), ls.mean_limit());
+}
+
+TEST(LaterStages, MultiSizeUsesExactFirstStageRatio) {
+  // Section IV-C: w_inf(multi) = (w1_exact / w1_mean-size) * w_inf(mbar).
+  NetworkTrafficSpec spec;
+  spec.k = 2;
+  const std::vector<MultiSizeService::Size> sizes = {{4, 0.5}, {8, 0.5}};
+  spec.service = std::make_shared<MultiSizeService>(sizes);
+  spec.p = 0.5 / 6.0;  // rho = 0.5, mbar = 6
+  const LaterStages ls(spec);
+
+  // Reference: deterministic mean-size network at the same rho.
+  NetworkTrafficSpec ref_spec;
+  ref_spec.k = 2;
+  ref_spec.p = 0.5 / 6.0;
+  ref_spec.service = std::make_shared<DeterministicService>(6);
+  const LaterStages ref(ref_spec);
+
+  const double ratio = ls.mean_first_stage() / ref.mean_first_stage();
+  EXPECT_GT(ratio, 1.0);  // size mixture waits longer than its mean size
+  EXPECT_NEAR(ls.mean_limit(), ratio * ref.mean_limit(), 1e-9);
+}
+
+TEST(LaterStages, BulkLimitUsesTrainEquivalence) {
+  // Downstream of stage 1, a bulk of b unit packets travels as a
+  // back-to-back train, behaving like one message of size b: the limit is
+  // the eq. 15 value at m = b, NOT an extrapolation of the (much larger)
+  // bulk first-stage wait.
+  NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.125;
+  spec.bulk = 4;  // rho = 0.5
+  const LaterStages ls(spec);
+  const double r = 1.0 + 0.8 * 0.5 / 2.0;
+  const double unit_mean = 0.5 * 0.5 / (2.0 * 0.5);
+  EXPECT_NEAR(ls.mean_limit(), 4.0 * r * unit_mean, 1e-12);
+  EXPECT_LT(ls.mean_limit(), ls.mean_first_stage());
+  // Variance via the eq. 16 family at m_eff = 4.
+  EXPECT_NEAR(ls.variance_limit(),
+              16.0 * (1.0 + (2.0 / 3.0) * 0.25) * 0.25, 1e-9);
+}
+
+TEST(LaterStages, BulkCombinesWithMessageSize) {
+  // Train size = bulk * message size.
+  NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.0625;
+  spec.bulk = 2;
+  spec.service = std::make_shared<DeterministicService>(4);  // rho = 0.5
+  const LaterStages ls(spec);
+  const double r = 1.2;
+  EXPECT_NEAR(ls.mean_limit(), 8.0 * r * 0.25, 1e-12);
+}
+
+TEST(LaterStages, NonuniformLimitAnchorsToExactFirstStage) {
+  LaterStageOptions opts;
+  for (double q : {0.0, 0.25, 0.5}) {
+    NetworkTrafficSpec spec = unit_spec(2, 0.5);
+    spec.q = q;
+    const LaterStages ls(spec, opts);
+    const double expected = (1.0 + opts.mean_coeff * 0.5 / 2.0) *
+                            (1.0 + opts.nonuni_mean_slope * q) *
+                            closed::nonuniform_mean(2, 0.5, q);
+    EXPECT_NEAR(ls.mean_limit(), expected, 1e-10) << "q=" << q;
+  }
+}
+
+TEST(LaterStages, OptionsAreRespected) {
+  LaterStageOptions opts;
+  opts.mean_coeff = 1.0;
+  opts.stage_rate = 0.5;
+  const LaterStages ls(unit_spec(2, 0.5), opts);
+  EXPECT_NEAR(ls.mean_limit(), 0.25 * (1.0 + 0.25), 1e-12);
+  const double r3 = ls.mean_limit() - ls.mean_at_stage(3);
+  const double r4 = ls.mean_limit() - ls.mean_at_stage(4);
+  EXPECT_NEAR(r4 / r3, 0.5, 1e-9);
+}
+
+TEST(LaterStages, RejectsDegenerateSwitch) {
+  NetworkTrafficSpec spec = unit_spec(1, 0.5);
+  EXPECT_THROW(LaterStages{spec}, std::invalid_argument);
+}
+
+TEST(LaterStages, LightTrafficLimitMatchesFirstStage) {
+  // As rho -> 0, the interior correction vanishes.
+  const LaterStages ls(unit_spec(2, 0.001));
+  EXPECT_NEAR(ls.mean_limit() / ls.mean_first_stage(), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace ksw::core

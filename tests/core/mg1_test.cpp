@@ -1,0 +1,51 @@
+#include "core/mg1.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ksw::core::mg1 {
+namespace {
+
+TEST(Mm1, KnownClosedForm) {
+  // E(w) = rho / (mu - lambda); Var(w) = rho(2-rho)/(mu-lambda)^2.
+  const double lambda = 0.5, mu = 1.0;
+  const auto w = mm1_waiting(lambda, mu);
+  EXPECT_NEAR(w.mean, 0.5 / 0.5, 1e-12);
+  EXPECT_NEAR(w.variance, 0.5 * 1.5 / 0.25, 1e-12);
+}
+
+TEST(Mm1, HeavyTrafficBlowsUp) {
+  const auto light = mm1_waiting(0.1, 1.0);
+  const auto heavy = mm1_waiting(0.95, 1.0);
+  EXPECT_GT(heavy.mean, 50.0 * light.mean);
+}
+
+TEST(Md1, KnownClosedForm) {
+  // E(w) = rho s / (2(1-rho)).
+  const double lambda = 0.5, s = 1.0;
+  const auto w = md1_waiting(lambda, s);
+  EXPECT_NEAR(w.mean, 0.5 / (2.0 * 0.5), 1e-12);
+}
+
+TEST(Md1, HalfTheMm1Mean) {
+  // Deterministic service halves the PK mean vs exponential.
+  const auto d = md1_waiting(0.6, 1.0);
+  const auto m = mm1_waiting(0.6, 1.0);
+  EXPECT_NEAR(d.mean, 0.5 * m.mean, 1e-12);
+}
+
+TEST(Mg1, MatchesSpecializations) {
+  const double lambda = 0.4;
+  const auto direct = mg1_waiting(lambda, 1.0, 2.0, 6.0);
+  const auto viamm1 = mm1_waiting(lambda, 1.0);
+  EXPECT_NEAR(direct.mean, viamm1.mean, 1e-12);
+  EXPECT_NEAR(direct.variance, viamm1.variance, 1e-12);
+}
+
+TEST(Mg1, RejectsUnstable) {
+  EXPECT_THROW(mg1_waiting(1.0, 1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(mm1_waiting(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(md1_waiting(0.5, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ksw::core::mg1

@@ -1,0 +1,113 @@
+#include "core/total_delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ksw::core {
+namespace {
+
+LaterStages reference_stages() {
+  NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.5;
+  return LaterStages(spec);
+}
+
+TEST(TotalDelay, MeanIsSumOfStageMeans) {
+  const LaterStages ls = reference_stages();
+  const TotalDelay td(ls, 6);
+  double manual = 0.0;
+  for (unsigned i = 1; i <= 6; ++i) manual += ls.mean_at_stage(i);
+  EXPECT_NEAR(td.mean_total(), manual, 1e-12);
+}
+
+TEST(TotalDelay, CovarianceModelMatchesPaperConstants) {
+  // k = 2, rho = 0.5, m = 1: a = 0.12, b = 0.4 (Table VI discussion).
+  const TotalDelay td(reference_stages(), 8);
+  const double v4 = td.covariance(4, 4);
+  EXPECT_NEAR(td.covariance(4, 5) / v4, 0.12, 1e-12);
+  EXPECT_NEAR(td.covariance(4, 6) / v4, 0.12 * 0.4, 1e-12);
+  EXPECT_NEAR(td.covariance(4, 7) / v4, 0.12 * 0.16, 1e-12);
+  // Symmetric access.
+  EXPECT_DOUBLE_EQ(td.covariance(5, 4), td.covariance(4, 5));
+}
+
+TEST(TotalDelay, CorrelationMatchesTableVI) {
+  // Observed neighbor correlations in Table VI are ~0.118-0.124; the model
+  // value sits in that band (correlation uses both stages' variances).
+  const TotalDelay td(reference_stages(), 8);
+  const double c45 = td.correlation(4, 5);
+  EXPECT_GT(c45, 0.10);
+  EXPECT_LT(c45, 0.13);
+}
+
+TEST(TotalDelay, VarianceWithCovarianceExceedsIndependent) {
+  const TotalDelay td(reference_stages(), 12);
+  EXPECT_GT(td.variance_total(true), td.variance_total(false));
+}
+
+TEST(TotalDelay, VarianceMatchesExplicitDoubleSum) {
+  const TotalDelay td(reference_stages(), 7);
+  double manual = 0.0;
+  for (unsigned i = 1; i <= 7; ++i)
+    for (unsigned j = 1; j <= 7; ++j) manual += td.covariance(i, j);
+  EXPECT_NEAR(td.variance_total(true), manual, 1e-10);
+}
+
+TEST(TotalDelay, SingleStageReducesToFirstStage) {
+  const LaterStages ls = reference_stages();
+  const TotalDelay td(ls, 1);
+  EXPECT_NEAR(td.mean_total(), ls.mean_first_stage(), 1e-12);
+  EXPECT_NEAR(td.variance_total(), ls.variance_first_stage(), 1e-12);
+}
+
+TEST(TotalDelay, GammaApproximationMatchesMoments) {
+  const TotalDelay td(reference_stages(), 9);
+  const auto gamma = td.gamma_approximation();
+  EXPECT_NEAR(gamma.mean(), td.mean_total(), 1e-10);
+  EXPECT_NEAR(gamma.variance(), td.variance_total(), 1e-10);
+}
+
+TEST(TotalDelay, MeanGrowsLinearlyInDepth) {
+  const LaterStages ls = reference_stages();
+  const double w3 = TotalDelay(ls, 3).mean_total();
+  const double w6 = TotalDelay(ls, 6).mean_total();
+  const double w12 = TotalDelay(ls, 12).mean_total();
+  // Once stages have converged, each extra stage adds ~w_inf.
+  EXPECT_NEAR(w12 - w6, 6.0 * ls.mean_limit(), 0.01);
+  EXPECT_LT(w6 - w3, w12 - w6 + 1e-12);
+}
+
+TEST(TotalDelay, TotalDelayAddsServiceTime) {
+  NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.125;
+  spec.service = std::make_shared<DeterministicService>(4);
+  const LaterStages ls(spec);
+  const TotalDelay td(ls, 6);
+  // Cut-through: n + m - 1 = 9 cycles of service.
+  EXPECT_NEAR(td.mean_total_delay(), td.mean_total() + 9.0, 1e-12);
+}
+
+TEST(TotalDelay, RejectsZeroStagesAndBadIndices) {
+  const LaterStages ls = reference_stages();
+  EXPECT_THROW(TotalDelay(ls, 0), std::invalid_argument);
+  const TotalDelay td(ls, 4);
+  EXPECT_THROW(td.covariance(0, 1), std::invalid_argument);
+  EXPECT_THROW(td.covariance(1, 5), std::invalid_argument);
+}
+
+TEST(TotalDelay, MessageSizeFourAnchors) {
+  // rho = 0.5, m = 4, k = 2 (Table X operating point): first stage exact
+  // 1.75, later stages 1.2, so n = 3 -> 4.15.
+  NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.125;
+  spec.service = std::make_shared<DeterministicService>(4);
+  const TotalDelay td(LaterStages(spec), 3);
+  EXPECT_NEAR(td.mean_total(), 1.75 + 2.0 * 1.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace ksw::core

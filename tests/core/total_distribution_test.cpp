@@ -1,0 +1,134 @@
+#include "core/total_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/total_delay.hpp"
+
+namespace ksw::core {
+namespace {
+
+LaterStages reference_stages(double rho = 0.5) {
+  NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = rho;
+  return LaterStages(spec);
+}
+
+double pmf_mean(const std::vector<double>& pmf) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < pmf.size(); ++j)
+    acc += static_cast<double>(j) * pmf[j];
+  return acc;
+}
+
+double pmf_variance(const std::vector<double>& pmf) {
+  const double mu = pmf_mean(pmf);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < pmf.size(); ++j) {
+    const double d = static_cast<double>(j) - mu;
+    acc += d * d * pmf[j];
+  }
+  return acc;
+}
+
+TEST(ConvolvePower, ZeroFoldIsDelta) {
+  const auto out = convolve_power({0.5, 0.5}, 0, 8);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(ConvolvePower, MatchesBinomial) {
+  // Bernoulli(0.5)^4 = Binomial(4, 0.5).
+  const auto out = convolve_power({0.5, 0.5}, 4, 8);
+  EXPECT_NEAR(out[0], 1.0 / 16, 1e-14);
+  EXPECT_NEAR(out[2], 6.0 / 16, 1e-14);
+  EXPECT_NEAR(out[4], 1.0 / 16, 1e-14);
+}
+
+TEST(ConvolvePower, MeansAndVariancesAdd) {
+  const std::vector<double> pmf = {0.2, 0.5, 0.2, 0.1};
+  const auto out = convolve_power(pmf, 5, 64);
+  EXPECT_NEAR(pmf_mean(out), 5.0 * pmf_mean(pmf), 1e-10);
+  EXPECT_NEAR(pmf_variance(out), 5.0 * pmf_variance(pmf), 1e-9);
+}
+
+TEST(ConvolvePower, RejectsZeroLength) {
+  EXPECT_THROW(convolve_power({1.0}, 2, 0), std::invalid_argument);
+}
+
+TEST(TotalDistribution, IidConvolutionMatchesIndependentMoments) {
+  const LaterStages ls = reference_stages();
+  const TotalDistribution dist(ls, 6);
+  const auto pmf = dist.iid_convolution(512);
+  double mass = 0.0;
+  for (double x : pmf) mass += x;
+  EXPECT_NEAR(mass, 1.0, 1e-8);
+  // Mean = 6 w1; variance = 6 v1 (no stage drift, no covariance).
+  EXPECT_NEAR(pmf_mean(pmf), 6.0 * ls.mean_first_stage(), 1e-6);
+  EXPECT_NEAR(pmf_variance(pmf), 6.0 * ls.variance_first_stage(), 1e-4);
+}
+
+TEST(TotalDistribution, ScaledConvolutionHitsSectionIvMean) {
+  const LaterStages ls = reference_stages();
+  const TotalDistribution dist(ls, 8);
+  const auto pmf = dist.scaled_convolution(512);
+  const TotalDelay td(ls, 8);
+  EXPECT_NEAR(pmf_mean(pmf), td.mean_total(), 1e-6);
+}
+
+TEST(TotalDistribution, ScaledConvolutionHandlesShrinkingStages) {
+  // m = 4: interior stages wait LESS than the first stage, so the scaled
+  // form must mix toward zero rather than shifting up.
+  NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.125;
+  spec.service = std::make_shared<DeterministicService>(4);
+  const LaterStages ls(spec);
+  const TotalDistribution dist(ls, 4);
+  const auto pmf = dist.scaled_convolution(1024);
+  const TotalDelay td(ls, 4);
+  EXPECT_NEAR(pmf_mean(pmf), td.mean_total(), 1e-4);
+  double mass = 0.0;
+  for (double x : pmf) mass += x;
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+}
+
+TEST(TotalDistribution, ConvolutionCdfMonotone) {
+  const TotalDistribution dist(reference_stages(), 4);
+  double prev = -1.0;
+  for (std::size_t w = 0; w < 20; ++w) {
+    const double c = dist.convolution_cdf(w, 256);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+TEST(TotalDistribution, GammaMatchesTotalDelay) {
+  const LaterStages ls = reference_stages();
+  const TotalDistribution dist(ls, 7);
+  const TotalDelay td(ls, 7);
+  EXPECT_NEAR(dist.gamma().mean(), td.mean_total(), 1e-10);
+  EXPECT_NEAR(dist.gamma().variance(), td.variance_total(), 1e-10);
+}
+
+TEST(TotalDistribution, RejectsZeroStages) {
+  EXPECT_THROW(TotalDistribution(reference_stages(), 0),
+               std::invalid_argument);
+}
+
+TEST(TotalDistribution, SingleStageConvolutionIsFirstStagePmf) {
+  const LaterStages ls = reference_stages();
+  const TotalDistribution dist(ls, 1);
+  const auto pmf = dist.iid_convolution(64);
+  const FirstStage first(ls.spec().first_stage_queue());
+  const auto exact = first.distribution(64);
+  for (std::size_t j = 0; j < 64; ++j)
+    EXPECT_NEAR(pmf[j], exact[j], 1e-12) << "j=" << j;
+}
+
+}  // namespace
+}  // namespace ksw::core

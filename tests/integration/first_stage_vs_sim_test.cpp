@@ -1,0 +1,115 @@
+// Integration: the exact Theorem-1 analysis against the cycle-accurate
+// single-switch simulator across the paper's traffic classes, with
+// confidence intervals from parallel replicates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/first_stage.hpp"
+#include "sim/replicate.hpp"
+#include "stats/confidence.hpp"
+
+namespace ksw {
+namespace {
+
+struct Scenario {
+  const char* name;
+  sim::FirstStageConfig cfg;
+  core::QueueSpec spec;
+};
+
+Scenario uniform_scenario(unsigned k, unsigned s, double p) {
+  sim::FirstStageConfig cfg;
+  cfg.k = k;
+  cfg.s = s;
+  cfg.p = p;
+  cfg.warmup_cycles = 2'000;
+  cfg.measure_cycles = 60'000;
+  return {"uniform",
+          cfg,
+          {std::shared_ptr<core::ArrivalModel>(
+               core::make_uniform_arrivals(k, s, p)),
+           std::make_shared<core::DeterministicService>(1)}};
+}
+
+class FirstStageIntegration
+    : public ::testing::TestWithParam<std::tuple<unsigned, double>> {};
+
+TEST_P(FirstStageIntegration, SimulationConfirmsTheoremOne) {
+  const auto [k, p] = GetParam();
+  const Scenario sc = uniform_scenario(k, k, p);
+  par::ThreadPool pool;
+  const auto result = sim::replicate_first_stage(sc.cfg, 8, pool);
+  const core::WaitingMoments exact = core::FirstStage(sc.spec).moments();
+
+  // Monte-Carlo tolerance scales with the heavy-traffic factor.
+  const double tol = 0.02 * (1.0 + exact.mean);
+  EXPECT_NEAR(result.waiting.mean(), exact.mean, tol);
+  EXPECT_NEAR(result.waiting.variance(), exact.variance,
+              0.05 * (1.0 + exact.variance));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FirstStageIntegration,
+                         ::testing::Combine(::testing::Values(2u, 4u, 8u),
+                                            ::testing::Values(0.2, 0.5,
+                                                              0.8)));
+
+TEST(FirstStageIntegration, ConfidenceIntervalCoversExactMean) {
+  const Scenario sc = uniform_scenario(2, 2, 0.5);
+  par::ThreadPool pool;
+  std::vector<double> means;
+  for (unsigned r = 0; r < 10; ++r) {
+    sim::FirstStageConfig cfg = sc.cfg;
+    cfg.seed = sim::replicate_seed(99, r);
+    means.push_back(sim::run_first_stage(cfg).waiting.mean());
+  }
+  const auto ci = stats::replicate_interval(means, 0.99);
+  EXPECT_TRUE(ci.contains(0.25))
+      << "CI [" << ci.lower() << ", " << ci.upper() << "]";
+}
+
+TEST(FirstStageIntegration, BulkDistributionMatchesInvertedTransform) {
+  sim::FirstStageConfig cfg;
+  cfg.p = 0.15;
+  cfg.bulk = 3;
+  cfg.warmup_cycles = 2'000;
+  cfg.measure_cycles = 300'000;
+  const auto result = sim::run_first_stage(cfg);
+
+  core::QueueSpec spec{
+      std::shared_ptr<core::ArrivalModel>(
+          core::make_bulk_arrivals(2, 2, 0.15, 3)),
+      std::make_shared<core::DeterministicService>(1)};
+  const auto dist = core::FirstStage(spec).distribution(64);
+  double tv = 0.0;
+  for (std::int64_t w = 0; w < 64; ++w)
+    tv += std::abs(result.histogram.pmf(w) -
+                   dist[static_cast<std::size_t>(w)]);
+  EXPECT_LT(0.5 * tv, 0.01);
+}
+
+TEST(FirstStageIntegration, GeometricServiceDistributionMatches) {
+  sim::FirstStageConfig cfg;
+  cfg.p = 0.25;
+  cfg.service = sim::ServiceSpec::geometric(0.5);
+  cfg.warmup_cycles = 2'000;
+  cfg.measure_cycles = 300'000;
+  const auto result = sim::run_first_stage(cfg);
+
+  core::QueueSpec spec{
+      std::shared_ptr<core::ArrivalModel>(
+          core::make_uniform_arrivals(2, 2, 0.25)),
+      std::make_shared<core::GeometricService>(0.5)};
+  const auto dist = core::FirstStage(spec).distribution(128);
+  double tv = 0.0;
+  for (std::int64_t w = 0; w < 128; ++w)
+    tv += std::abs(result.histogram.pmf(w) -
+                   dist[static_cast<std::size_t>(w)]);
+  EXPECT_LT(0.5 * tv, 0.01);
+}
+
+}  // namespace
+}  // namespace ksw

@@ -1,0 +1,109 @@
+// Integration: the paper's central distributional claim (Section V,
+// Figs. 3-8) — the total waiting time over n stages is well approximated
+// by a gamma distribution with the estimated mean and variance, including
+// at the tails.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "core/total_delay.hpp"
+#include "sim/network.hpp"
+#include "stats/goodness_of_fit.hpp"
+
+namespace ksw {
+namespace {
+
+struct FigureRun {
+  sim::NetworkResults results;
+  core::LaterStages stages;
+
+  FigureRun(double rho, unsigned m, std::int64_t cycles)
+      : results{}, stages(make_spec(rho, m)) {
+    // 10 stages keeps single-core test time manageable; the fig3_8 bench
+    // runs the paper's full 12-stage configuration.
+    sim::NetworkConfig cfg;
+    cfg.k = 2;
+    cfg.stages = 10;
+    cfg.p = rho / static_cast<double>(m);
+    cfg.service = sim::ServiceSpec::deterministic(m);
+    cfg.total_checkpoints = {3, 6, 8, 10};
+    cfg.warmup_cycles = cycles / 10;
+    cfg.measure_cycles = cycles;
+    cfg.seed = 29;
+    results = sim::run_network(cfg);
+  }
+
+  static core::NetworkTrafficSpec make_spec(double rho, unsigned m) {
+    core::NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = rho / static_cast<double>(m);
+    spec.service = std::make_shared<core::DeterministicService>(m);
+    return spec;
+  }
+};
+
+class GammaFitSweep
+    : public ::testing::TestWithParam<std::tuple<double, unsigned>> {};
+
+TEST_P(GammaFitSweep, TotalWaitingIsNearlyGamma) {
+  const auto [rho, m] = GetParam();
+  const FigureRun run(rho, m, 40'000);
+  const unsigned depths[] = {3, 6, 8, 10};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned n = depths[i];
+    const core::TotalDelay td(run.stages, n);
+    const auto gamma = td.gamma_approximation();
+    // Multi-packet totals cluster on a near-lattice of the message size,
+    // so compare binned masses (what the paper's figures plot): bin width
+    // m. "Incredibly good match": total variation under 10%.
+    const double tv = stats::binned_total_variation(
+        run.results.total_wait[i], gamma, m);
+    EXPECT_LT(tv, 0.10) << "rho=" << rho << " m=" << m << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FigureGrid, GammaFitSweep,
+                         ::testing::Values(std::make_tuple(0.2, 1u),
+                                           std::make_tuple(0.5, 1u),
+                                           std::make_tuple(0.8, 1u),
+                                           std::make_tuple(0.2, 4u),
+                                           std::make_tuple(0.5, 4u)));
+
+TEST(GammaFit, TailProbabilityMatches) {
+  // Fig. 5 regime: rho = 0.5, m = 1, deep network. Compare P(W > q95)
+  // where q95 comes from the gamma model: the empirical tail should be ~5%.
+  const FigureRun run(0.5, 1, 40'000);
+  const core::TotalDelay td(run.stages, 10);
+  const auto gamma = td.gamma_approximation();
+  const double q95 = gamma.quantile(0.95);
+  const auto& hist = run.results.total_wait[3];
+  const double tail =
+      1.0 - hist.cdf(static_cast<std::int64_t>(std::floor(q95 + 0.5)));
+  EXPECT_NEAR(tail, 0.05, 0.02);
+}
+
+TEST(GammaFit, FitDegradesGracefullyForFewStages) {
+  // Even n = 3 (where a normal approximation would fail at the tails) is
+  // well fit by the gamma, as the paper emphasizes.
+  const FigureRun run(0.5, 1, 40'000);
+  const core::TotalDelay td(run.stages, 3);
+  const auto gamma = td.gamma_approximation();
+  EXPECT_LT(stats::total_variation_distance(run.results.total_wait[0], gamma),
+            0.07);
+}
+
+TEST(GammaFit, WrongMomentsFitWorse) {
+  const FigureRun run(0.5, 1, 20'000);
+  const core::TotalDelay td(run.stages, 10);
+  const auto good = td.gamma_approximation();
+  const auto bad = stats::GammaDistribution::from_moments(
+      2.0 * td.mean_total(), td.variance_total());
+  const auto& hist = run.results.total_wait[3];
+  EXPECT_LT(stats::total_variation_distance(hist, good),
+            0.5 * stats::total_variation_distance(hist, bad));
+}
+
+}  // namespace
+}  // namespace ksw

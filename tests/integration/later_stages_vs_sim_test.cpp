@@ -1,0 +1,158 @@
+// Integration: Section IV's later-stage estimates against the multistage
+// network simulator, over the paper's parameter grids.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/later_stages.hpp"
+#include "sim/network.hpp"
+
+namespace ksw {
+namespace {
+
+sim::NetworkConfig network_for(const core::NetworkTrafficSpec& spec,
+                               unsigned stages, std::int64_t cycles) {
+  sim::NetworkConfig cfg;
+  cfg.k = spec.k;
+  cfg.stages = stages;
+  cfg.p = spec.p;
+  cfg.bulk = spec.bulk;
+  cfg.q = spec.q;
+  cfg.warmup_cycles = cycles / 10;
+  cfg.measure_cycles = cycles;
+  cfg.seed = 17;
+  return cfg;
+}
+
+class RhoSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RhoSweep, DeepStageMatchesLimitEstimate) {
+  const double rho = GetParam();
+  core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = rho;
+  const core::LaterStages ls(spec);
+  const auto r = sim::run_network(network_for(spec, 8, 60'000));
+  const double sim_limit = 0.5 * (r.stage_wait[6].mean() +
+                                  r.stage_wait[7].mean());
+  // Paper: approximation "slightly low for p small and slightly high for
+  // p large"; a 6% relative + small absolute band covers its error.
+  EXPECT_NEAR(ls.mean_limit(), sim_limit, 0.06 * sim_limit + 0.01)
+      << "rho=" << rho;
+  const double sim_var = 0.5 * (r.stage_wait[6].variance() +
+                                r.stage_wait[7].variance());
+  EXPECT_NEAR(ls.variance_limit(), sim_var, 0.10 * sim_var + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RhoSweep,
+                         ::testing::Values(0.2, 0.4, 0.5, 0.6, 0.8));
+
+class SwitchSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SwitchSweep, DeepStageMatchesLimitEstimate) {
+  const unsigned k = GetParam();
+  core::NetworkTrafficSpec spec;
+  spec.k = k;
+  spec.p = 0.5;
+  const core::LaterStages ls(spec);
+  const unsigned stages = k == 2 ? 8 : (k == 4 ? 5 : 4);
+  const auto r = sim::run_network(network_for(spec, stages, 40'000));
+  const double sim_limit = r.stage_wait[stages - 1].mean();
+  EXPECT_NEAR(ls.mean_limit(), sim_limit, 0.05 * sim_limit + 0.01)
+      << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SwitchSweep, ::testing::Values(2u, 4u, 8u));
+
+class MessageSizeSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MessageSizeSweep, InteriorStagesMatchEq15Eq16) {
+  const unsigned m = GetParam();
+  core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.5 / static_cast<double>(m);
+  spec.service = std::make_shared<core::DeterministicService>(m);
+  const core::LaterStages ls(spec);
+
+  sim::NetworkConfig cfg = network_for(spec, 8, 60'000);
+  cfg.service = sim::ServiceSpec::deterministic(m);
+  const auto r = sim::run_network(cfg);
+  const double sim_limit = 0.5 * (r.stage_wait[6].mean() +
+                                  r.stage_wait[7].mean());
+  // Paper Table III: eq. 15 runs ~25% low at m = 2 and converges for
+  // larger m; mirror that asymmetric band.
+  const double rel = m == 2 ? 0.30 : 0.10;
+  EXPECT_NEAR(ls.mean_limit(), sim_limit, rel * sim_limit) << "m=" << m;
+  const double sim_var = 0.5 * (r.stage_wait[6].variance() +
+                                r.stage_wait[7].variance());
+  EXPECT_NEAR(ls.variance_limit(), sim_var, rel * sim_var) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MessageSizeSweep,
+                         ::testing::Values(2u, 4u, 8u));
+
+TEST(BulkIntegration, TrainApproximationTracksSimulation) {
+  // No paper formula exists for bulk traffic past the first stage; our
+  // train-equivalence heuristic (limit = eq. 15 at m = b) runs 15-25%
+  // high, comparable to eq. 15's own error at small m.
+  for (unsigned b : {2u, 4u}) {
+    core::NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = 0.5 / static_cast<double>(b);
+    spec.bulk = b;
+    const core::LaterStages ls(spec);
+    const auto r = sim::run_network(network_for(spec, 8, 50'000));
+    EXPECT_NEAR(r.stage_wait[0].mean(), ls.mean_first_stage(),
+                0.04 * ls.mean_first_stage());
+    const double deep = 0.5 * (r.stage_wait[6].mean() +
+                               r.stage_wait[7].mean());
+    EXPECT_GT(ls.mean_limit(), deep * 0.95) << "b=" << b;
+    EXPECT_LT(ls.mean_limit(), deep * 1.35) << "b=" << b;
+  }
+}
+
+TEST(MultiSizeIntegration, TableIVOperatingPoint) {
+  // m1 = 4, m2 = 8, equal probability, rho = 0.5, k = 2.
+  core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.5 / 6.0;
+  spec.service = std::make_shared<core::MultiSizeService>(
+      std::vector<core::MultiSizeService::Size>{{4, 0.5}, {8, 0.5}});
+  const core::LaterStages ls(spec);
+
+  sim::NetworkConfig cfg = network_for(spec, 8, 80'000);
+  cfg.service = sim::ServiceSpec::multi_size({{4, 0.5}, {8, 0.5}});
+  const auto r = sim::run_network(cfg);
+  EXPECT_NEAR(r.stage_wait[0].mean(), ls.mean_first_stage(),
+              0.05 * ls.mean_first_stage());
+  const double sim_limit = 0.5 * (r.stage_wait[6].mean() +
+                                  r.stage_wait[7].mean());
+  EXPECT_NEAR(ls.mean_limit(), sim_limit, 0.15 * sim_limit);
+}
+
+TEST(NonuniformIntegration, TableVShape) {
+  // Waiting decreases in q at every stage; the limit estimate tracks the
+  // deep-stage simulation within ~12%.
+  double prev_first = 1e9, prev_deep = 1e9;
+  for (double q : {0.0, 0.3, 0.6}) {
+    core::NetworkTrafficSpec spec;
+    spec.k = 2;
+    spec.p = 0.5;
+    spec.q = q;
+    const core::LaterStages ls(spec);
+    const auto r = sim::run_network(network_for(spec, 8, 60'000));
+    const double first = r.stage_wait[0].mean();
+    const double deep = 0.5 * (r.stage_wait[6].mean() +
+                               r.stage_wait[7].mean());
+    EXPECT_LT(first, prev_first) << "q=" << q;
+    EXPECT_LT(deep, prev_deep) << "q=" << q;
+    prev_first = first;
+    prev_deep = deep;
+    EXPECT_NEAR(ls.mean_first_stage(), first, 0.03 * first + 0.005);
+    EXPECT_NEAR(ls.mean_limit(), deep, 0.12 * deep + 0.01) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace ksw

@@ -1,0 +1,113 @@
+// Integration: Section V total-waiting-time predictions (mean, variance
+// with the geometric covariance model) against the network simulator —
+// the content of the paper's Tables VII-XII.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/total_delay.hpp"
+#include "sim/network.hpp"
+
+namespace ksw {
+namespace {
+
+struct TotalsRun {
+  std::vector<double> sim_mean;  // indexed by checkpoint {3,6,9,12}
+  std::vector<double> sim_var;
+  std::vector<double> pred_mean;
+  std::vector<double> pred_var;
+};
+
+TotalsRun run_totals(double rho, unsigned m, std::int64_t cycles) {
+  core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = rho / static_cast<double>(m);
+  spec.service = std::make_shared<core::DeterministicService>(m);
+  const core::LaterStages ls(spec);
+
+  // 10 stages (1024 ports) keeps single-core test time manageable; the
+  // bench harnesses exercise the paper's full 12-stage configuration.
+  sim::NetworkConfig cfg;
+  cfg.k = 2;
+  cfg.stages = 10;
+  cfg.p = spec.p;
+  cfg.service = sim::ServiceSpec::deterministic(m);
+  cfg.total_checkpoints = {3, 6, 8, 10};
+  cfg.warmup_cycles = cycles / 10;
+  cfg.measure_cycles = cycles;
+  cfg.seed = 23;
+  const auto r = sim::run_network(cfg);
+
+  TotalsRun out;
+  const unsigned depths[] = {3, 6, 8, 10};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned n = depths[i];
+    out.sim_mean.push_back(r.total_wait[i].mean());
+    out.sim_var.push_back(r.total_wait[i].variance());
+    const core::TotalDelay td(ls, n);
+    out.pred_mean.push_back(td.mean_total());
+    out.pred_var.push_back(td.variance_total());
+  }
+  return out;
+}
+
+class TotalsSweep
+    : public ::testing::TestWithParam<std::tuple<double, unsigned>> {};
+
+TEST_P(TotalsSweep, PredictionsTrackSimulation) {
+  const auto [rho, m] = GetParam();
+  const auto run = run_totals(rho, m, 30'000);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(run.pred_mean[i], run.sim_mean[i],
+                0.05 * run.sim_mean[i] + 0.02)
+        << "rho=" << rho << " m=" << m << " checkpoint=" << i;
+    // Eq. 16 was calibrated by the authors at rho = 0.5 and drifts away
+    // from it (their own Table VIII prediction is ~10% high); allow the
+    // paper's error band for m >= 2 and a tighter one for m = 1.
+    const double var_band = m == 1 ? 0.12 : 0.25;
+    EXPECT_NEAR(run.pred_var[i], run.sim_var[i],
+                var_band * run.sim_var[i] + 0.05)
+        << "rho=" << rho << " m=" << m << " checkpoint=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, TotalsSweep,
+                         ::testing::Values(std::make_tuple(0.2, 1u),
+                                           std::make_tuple(0.2, 4u),
+                                           std::make_tuple(0.5, 1u),
+                                           std::make_tuple(0.5, 4u),
+                                           std::make_tuple(0.8, 1u)));
+
+TEST(Totals, CovarianceCorrectionImprovesVariance) {
+  // The with-covariance estimate must be closer to simulation than the
+  // independence assumption at rho = 0.5, m = 1 (the regime of Table IX).
+  core::NetworkTrafficSpec spec;
+  spec.k = 2;
+  spec.p = 0.5;
+  const core::LaterStages ls(spec);
+  const core::TotalDelay td(ls, 10);
+
+  sim::NetworkConfig cfg;
+  cfg.stages = 10;
+  cfg.p = 0.5;
+  cfg.total_checkpoints = {10};
+  cfg.warmup_cycles = 3'000;
+  cfg.measure_cycles = 30'000;
+  const auto r = sim::run_network(cfg);
+  const double sim_var = r.total_wait[0].variance();
+  const double err_with = std::abs(td.variance_total(true) - sim_var);
+  const double err_without = std::abs(td.variance_total(false) - sim_var);
+  EXPECT_LT(err_with, err_without);
+}
+
+TEST(Totals, MeanTotalForHeavyTrafficTableXI) {
+  // Table XI regime (rho = 0.8, m = 1, deep network): simulation within
+  // ~6% of prediction.
+  const auto run = run_totals(0.8, 1, 80'000);
+  EXPECT_NEAR(run.pred_mean[3], run.sim_mean[3], 0.06 * run.sim_mean[3]);
+  EXPECT_GT(run.sim_mean[3], 8.0);
+}
+
+}  // namespace
+}  // namespace ksw

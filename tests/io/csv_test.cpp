@@ -1,0 +1,54 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ksw::io {
+namespace {
+
+TEST(CsvEscape, PlainFieldsUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, BasicDocument) {
+  CsvWriter csv({"name", "value"});
+  csv.begin_row().add("pi").add(3.25);
+  csv.begin_row().add("count").add(std::int64_t{42});
+  EXPECT_EQ(csv.to_string(), "name,value\npi,3.25\ncount,42\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(CsvWriter, PadsShortRows) {
+  CsvWriter csv({"a", "b", "c"});
+  csv.begin_row().add("only");
+  EXPECT_EQ(csv.to_string(), "a,b,c\nonly,,\n");
+}
+
+TEST(CsvWriter, RejectsWideRowsAndEmptyHeader) {
+  CsvWriter csv({"a"});
+  csv.begin_row().add("x");
+  EXPECT_THROW(csv.add("y"), std::invalid_argument);
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(CsvWriter, ImplicitFirstRow) {
+  CsvWriter csv({"a"});
+  csv.add("auto");
+  EXPECT_EQ(csv.to_string(), "a\nauto\n");
+}
+
+TEST(CsvWriter, QuotedHeadersAndCells) {
+  CsvWriter csv({"name, full", "v"});
+  csv.begin_row().add("x,y").add(std::uint64_t{7});
+  EXPECT_EQ(csv.to_string(), "\"name, full\",v\n\"x,y\",7\n");
+}
+
+}  // namespace
+}  // namespace ksw::io

@@ -1,0 +1,105 @@
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ksw::io {
+namespace {
+
+TEST(JsonEscape, ControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nfeed"), "line\\nfeed");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().to_string(), "null");
+  EXPECT_EQ(Json(true).to_string(), "true");
+  EXPECT_EQ(Json(false).to_string(), "false");
+  EXPECT_EQ(Json(42).to_string(), "42");
+  EXPECT_EQ(Json(2.5).to_string(), "2.5");
+  EXPECT_EQ(Json("text").to_string(), "\"text\"");
+}
+
+TEST(Json, IntegersRenderWithoutDecimalPoint) {
+  EXPECT_EQ(Json(std::int64_t{1000000}).to_string(), "1000000");
+  EXPECT_EQ(Json(-3.0).to_string(), "-3");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).to_string(),
+            "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).to_string(),
+            "null");
+}
+
+TEST(Json, ArraysAndObjects) {
+  Json arr = Json::array();
+  arr.push_back(1).push_back("two").push_back(Json());
+  EXPECT_EQ(arr.to_string(), "[1,\"two\",null]");
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr.is_array());
+
+  Json obj = Json::object();
+  obj.set("a", 1).set("b", true);
+  EXPECT_EQ(obj.to_string(), "{\"a\":1,\"b\":true}");
+  EXPECT_TRUE(obj.is_object());
+}
+
+TEST(Json, SetOverwritesExistingKeyInPlace) {
+  Json obj = Json::object();
+  obj.set("x", 1).set("y", 2).set("x", 3);
+  EXPECT_EQ(obj.to_string(), "{\"x\":3,\"y\":2}");
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(Json, NullPromotesOnMutation) {
+  Json j;
+  j.push_back(1);
+  EXPECT_TRUE(j.is_array());
+  Json k;
+  k.set("key", "v");
+  EXPECT_TRUE(k.is_object());
+}
+
+TEST(Json, MutatingWrongTypeThrows) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", 1), std::logic_error);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push_back(1), std::logic_error);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().to_string(), "[]");
+  EXPECT_EQ(Json::object().to_string(), "{}");
+  EXPECT_EQ(Json::array().to_string(2), "[]");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  Json nested = Json::array();
+  nested.push_back(2);
+  obj.set("b", std::move(nested));
+  EXPECT_EQ(obj.to_string(2),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(Json, NestedStructure) {
+  Json doc = Json::object();
+  Json rows = Json::array();
+  for (int i = 0; i < 3; ++i) {
+    Json row = Json::object();
+    row.set("i", i);
+    rows.push_back(std::move(row));
+  }
+  doc.set("rows", std::move(rows));
+  EXPECT_EQ(doc.to_string(),
+            "{\"rows\":[{\"i\":0},{\"i\":1},{\"i\":2}]}");
+}
+
+}  // namespace
+}  // namespace ksw::io

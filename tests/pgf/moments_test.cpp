@@ -1,0 +1,152 @@
+#include "pgf/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace ksw::pgf {
+namespace {
+
+// Numerical derivative helper: k-th derivative of f at 1 via central
+// differences on a wide stencil (used to cross-check the exact algebra).
+template <typename F>
+double numeric_derivative(F f, int order, double h = 1e-2) {
+  // Five-point stencils around x = 1.
+  const double x = 1.0;
+  switch (order) {
+    case 1:
+      return (f(x - 2 * h) - 8 * f(x - h) + 8 * f(x + h) - f(x + 2 * h)) /
+             (12 * h);
+    case 2:
+      return (-f(x - 2 * h) + 16 * f(x - h) - 30 * f(x) + 16 * f(x + h) -
+              f(x + 2 * h)) /
+             (12 * h * h);
+    case 3:
+      return (-f(x - 2 * h) + 2 * f(x - h) - 2 * f(x + h) + f(x + 2 * h)) /
+             (2 * h * h * h) * -1.0;
+    default:
+      return 0.0;
+  }
+}
+
+TEST(MomentTuple, MonomialDerivatives) {
+  const MomentTuple t = MomentTuple::monomial(4);
+  EXPECT_DOUBLE_EQ(t.value, 1.0);
+  EXPECT_DOUBLE_EQ(t.d1, 4.0);
+  EXPECT_DOUBLE_EQ(t.d2, 12.0);
+  EXPECT_DOUBLE_EQ(t.d3, 24.0);
+  EXPECT_DOUBLE_EQ(t.d4, 24.0);
+}
+
+TEST(MomentTuple, MonomialSmallOrders) {
+  EXPECT_DOUBLE_EQ(MomentTuple::monomial(0).d1, 0.0);
+  EXPECT_DOUBLE_EQ(MomentTuple::monomial(1).d1, 1.0);
+  EXPECT_DOUBLE_EQ(MomentTuple::monomial(1).d2, 0.0);
+  EXPECT_DOUBLE_EQ(MomentTuple::monomial(2).d2, 2.0);
+  EXPECT_DOUBLE_EQ(MomentTuple::monomial(3).d3, 6.0);
+}
+
+TEST(MomentTuple, FromPmfBernoulliMixture) {
+  // X in {0, 2} with P(2)=0.3: E[X]=0.6, E[X(X-1)]=0.3*2=0.6.
+  const std::array<double, 3> pmf = {0.7, 0.0, 0.3};
+  const MomentTuple t = MomentTuple::from_pmf(pmf);
+  EXPECT_NEAR(t.value, 1.0, 1e-15);
+  EXPECT_NEAR(t.d1, 0.6, 1e-15);
+  EXPECT_NEAR(t.d2, 0.6, 1e-15);
+  EXPECT_NEAR(t.mean(), 0.6, 1e-15);
+  EXPECT_NEAR(t.variance(), 0.6 + 0.6 - 0.36, 1e-15);
+}
+
+TEST(MomentTuple, ProductMatchesConvolution) {
+  // Product of PGFs = PGF of the sum of independent variables; factorial
+  // moments must match those computed from the convolved pmf.
+  const std::array<double, 2> pa = {0.4, 0.6};          // Bernoulli(0.6)
+  const std::array<double, 3> pb = {0.5, 0.25, 0.25};   // values 0,1,2
+  const MomentTuple prod =
+      MomentTuple::product(MomentTuple::from_pmf(pa),
+                           MomentTuple::from_pmf(pb));
+  // Convolved pmf over 0..3.
+  std::array<double, 4> conv{};
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j)
+      conv[static_cast<std::size_t>(i + j)] += pa[static_cast<std::size_t>(i)] * pb[static_cast<std::size_t>(j)];
+  const MomentTuple direct = MomentTuple::from_pmf(conv);
+  EXPECT_NEAR(prod.d1, direct.d1, 1e-14);
+  EXPECT_NEAR(prod.d2, direct.d2, 1e-14);
+  EXPECT_NEAR(prod.d3, direct.d3, 1e-14);
+  EXPECT_NEAR(prod.d4, direct.d4, 1e-14);
+}
+
+TEST(MomentTuple, PowerMatchesRepeatedProduct) {
+  const std::array<double, 2> pmf = {0.75, 0.25};
+  const MomentTuple f = MomentTuple::from_pmf(pmf);
+  MomentTuple manual = MomentTuple::one();
+  for (int i = 0; i < 6; ++i) manual = MomentTuple::product(manual, f);
+  const MomentTuple fast = MomentTuple::power(f, 6);
+  EXPECT_NEAR(fast.d1, manual.d1, 1e-14);
+  EXPECT_NEAR(fast.d2, manual.d2, 1e-14);
+  EXPECT_NEAR(fast.d3, manual.d3, 1e-13);
+  EXPECT_NEAR(fast.d4, manual.d4, 1e-13);
+}
+
+TEST(MomentTuple, BinomialClosedForm) {
+  // (1 - p + p z)^k: R'(1) = kp, R''(1) = k(k-1)p^2, etc. (paper III-A-1).
+  const double p = 0.3;
+  const unsigned k = 7;
+  const std::array<double, 2> factor = {1.0 - p, p};
+  const MomentTuple t = MomentTuple::power(MomentTuple::from_pmf(factor), k);
+  const double kd = k;
+  EXPECT_NEAR(t.d1, kd * p, 1e-14);
+  EXPECT_NEAR(t.d2, kd * (kd - 1) * p * p, 1e-14);
+  EXPECT_NEAR(t.d3, kd * (kd - 1) * (kd - 2) * p * p * p, 1e-14);
+  EXPECT_NEAR(t.d4, kd * (kd - 1) * (kd - 2) * (kd - 3) * p * p * p * p,
+              1e-14);
+}
+
+TEST(MomentTuple, ComposeMatchesNumericDerivatives) {
+  // F(G(z)) with F(y) = (0.6 + 0.4 y)^3 and G(z) = 0.5 z + 0.5 z^3.
+  const auto F = [](double y) { return std::pow(0.6 + 0.4 * y, 3); };
+  const auto G = [](double z) { return 0.5 * z + 0.5 * z * z * z; };
+  const auto FG = [&](double z) { return F(G(z)); };
+
+  const std::array<double, 2> f_factor = {0.6, 0.4};
+  const MomentTuple f = MomentTuple::power(MomentTuple::from_pmf(f_factor), 3);
+  const std::array<double, 4> g_pmf = {0.0, 0.5, 0.0, 0.5};
+  const MomentTuple g = MomentTuple::from_pmf(g_pmf);
+  const MomentTuple c = MomentTuple::compose(f, g);
+
+  EXPECT_NEAR(c.d1, numeric_derivative(FG, 1), 1e-7);
+  EXPECT_NEAR(c.d2, numeric_derivative(FG, 2), 1e-5);
+}
+
+TEST(MomentTuple, ComposeWithIdentityIsNoop) {
+  const std::array<double, 3> pmf = {0.2, 0.5, 0.3};
+  const MomentTuple f = MomentTuple::from_pmf(pmf);
+  const MomentTuple c = MomentTuple::compose(f, MomentTuple::identity_z());
+  EXPECT_NEAR(c.d1, f.d1, 1e-15);
+  EXPECT_NEAR(c.d2, f.d2, 1e-15);
+  EXPECT_NEAR(c.d3, f.d3, 1e-15);
+  EXPECT_NEAR(c.d4, f.d4, 1e-15);
+}
+
+TEST(MomentTuple, ComposeOfMonomials) {
+  // (z^a)^b = z^{ab}.
+  const MomentTuple c =
+      MomentTuple::compose(MomentTuple::monomial(3), MomentTuple::monomial(2));
+  const MomentTuple direct = MomentTuple::monomial(6);
+  EXPECT_NEAR(c.d1, direct.d1, 1e-12);
+  EXPECT_NEAR(c.d2, direct.d2, 1e-12);
+  EXPECT_NEAR(c.d3, direct.d3, 1e-12);
+  EXPECT_NEAR(c.d4, direct.d4, 1e-12);
+}
+
+TEST(MomentTuple, ComposeRequiresInnerPgf) {
+  MomentTuple bad = MomentTuple::one();
+  bad.value = 0.5;
+  EXPECT_THROW(MomentTuple::compose(MomentTuple::monomial(2), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ksw::pgf

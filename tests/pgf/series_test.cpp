@@ -1,0 +1,149 @@
+#include "pgf/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace ksw::pgf {
+namespace {
+
+TEST(Series, ConstructionAndAccess) {
+  Series s(4);
+  EXPECT_EQ(s.length(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(s[i], 0.0);
+  s[2] = 1.5;
+  EXPECT_DOUBLE_EQ(s[2], 1.5);
+  EXPECT_THROW(Series(0), std::invalid_argument);
+  EXPECT_THROW(s[4], std::out_of_range);
+}
+
+TEST(Series, FromCoefficientsTruncatesAndPads) {
+  const std::array<double, 3> c = {1.0, 2.0, 3.0};
+  Series padded(c, 5);
+  EXPECT_DOUBLE_EQ(padded[2], 3.0);
+  EXPECT_DOUBLE_EQ(padded[4], 0.0);
+  Series cut(c, 2);
+  EXPECT_EQ(cut.length(), 2u);
+  EXPECT_DOUBLE_EQ(cut[1], 2.0);
+}
+
+TEST(Series, AddSubScale) {
+  const std::array<double, 3> a = {1.0, 2.0, 3.0};
+  const std::array<double, 3> b = {4.0, 5.0, 6.0};
+  Series sa(a, 3), sb(b, 3);
+  const Series sum = sa + sb;
+  EXPECT_DOUBLE_EQ(sum[0], 5.0);
+  EXPECT_DOUBLE_EQ(sum[2], 9.0);
+  const Series diff = sb - sa;
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+  const Series scaled = 2.0 * sa;
+  EXPECT_DOUBLE_EQ(scaled[2], 6.0);
+}
+
+TEST(Series, MulIsTruncatedConvolution) {
+  // (1 + z)^2 = 1 + 2z + z^2.
+  const std::array<double, 2> one_plus_z = {1.0, 1.0};
+  Series s(one_plus_z, 3);
+  const Series sq = Series::mul(s, s);
+  EXPECT_DOUBLE_EQ(sq[0], 1.0);
+  EXPECT_DOUBLE_EQ(sq[1], 2.0);
+  EXPECT_DOUBLE_EQ(sq[2], 1.0);
+}
+
+TEST(Series, MulTruncatesHighTerms) {
+  const std::array<double, 3> c = {0.0, 1.0, 1.0};  // z + z^2
+  Series s(c, 3);
+  const Series sq = Series::mul(s, s);  // z^2 + 2z^3 + z^4 -> keep z^2
+  EXPECT_DOUBLE_EQ(sq[0], 0.0);
+  EXPECT_DOUBLE_EQ(sq[1], 0.0);
+  EXPECT_DOUBLE_EQ(sq[2], 1.0);
+}
+
+TEST(Series, DivideRoundTrips) {
+  const std::array<double, 4> num = {1.0, 0.5, 0.25, 0.125};
+  const std::array<double, 4> den = {2.0, -1.0, 0.5, 0.0};
+  Series n(num, 8), d(den, 8);
+  const Series q = Series::divide(n, d);
+  const Series back = Series::mul(q, d);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(back[i], i < 4 ? num[i] : 0.0, 1e-12) << "i=" << i;
+}
+
+TEST(Series, DivideGeometric) {
+  // 1/(1 - z) = 1 + z + z^2 + ...
+  const std::array<double, 2> one = {1.0};
+  const std::array<double, 2> den = {1.0, -1.0};
+  const Series q = Series::divide(Series(one, 10), Series(den, 10));
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(q[i], 1.0, 1e-12);
+}
+
+TEST(Series, DivideRejectsZeroConstant) {
+  Series n(4), d(4);
+  n[0] = 1.0;
+  EXPECT_THROW(Series::divide(n, d), std::invalid_argument);
+}
+
+TEST(Series, ComposePolynomialMatchesDirectExpansion) {
+  // outer(y) = 1 + y + y^2, inner = z + z^2:
+  // result = 1 + (z+z^2) + (z+z^2)^2 = 1 + z + 2z^2 + 2z^3 + z^4.
+  const std::array<double, 3> outer = {1.0, 1.0, 1.0};
+  const std::array<double, 3> inner_c = {0.0, 1.0, 1.0};
+  const Series inner(inner_c, 5);
+  const Series r = Series::compose_polynomial(outer, inner);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], 1.0, 1e-12);
+  EXPECT_NEAR(r[2], 2.0, 1e-12);
+  EXPECT_NEAR(r[3], 2.0, 1e-12);
+  EXPECT_NEAR(r[4], 1.0, 1e-12);
+}
+
+TEST(Series, ComposeWithNonzeroInnerConstant) {
+  // outer(y) = y^2, inner = 0.5 + z -> (0.5+z)^2 = 0.25 + z + z^2.
+  const std::array<double, 3> outer = {0.0, 0.0, 1.0};
+  const std::array<double, 2> inner_c = {0.5, 1.0};
+  const Series r =
+      Series::compose_polynomial(outer, Series(inner_c, 3));
+  EXPECT_NEAR(r[0], 0.25, 1e-12);
+  EXPECT_NEAR(r[1], 1.0, 1e-12);
+  EXPECT_NEAR(r[2], 1.0, 1e-12);
+}
+
+TEST(Series, PowMatchesRepeatedMul) {
+  const std::array<double, 2> c = {0.75, 0.25};
+  const Series base(c, 6);
+  Series direct = Series::constant(1.0, 6);
+  for (int i = 0; i < 5; ++i) direct = Series::mul(direct, base);
+  const Series fast = Series::pow(base, 5);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(fast[i], direct[i], 1e-14);
+}
+
+TEST(Series, PowZeroIsOne) {
+  const Series base = Series::identity(4);
+  const Series p0 = Series::pow(base, 0);
+  EXPECT_DOUBLE_EQ(p0[0], 1.0);
+  EXPECT_DOUBLE_EQ(p0[1], 0.0);
+}
+
+TEST(Series, EvalHorner) {
+  const std::array<double, 3> c = {1.0, -2.0, 3.0};
+  const Series s(c, 3);
+  EXPECT_DOUBLE_EQ(s.eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.eval(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.eval(2.0), 9.0);
+}
+
+TEST(Series, CoefficientSum) {
+  const std::array<double, 3> c = {0.25, 0.5, 0.25};
+  EXPECT_DOUBLE_EQ(Series(c, 3).coefficient_sum(), 1.0);
+}
+
+TEST(Series, LengthMismatchThrows) {
+  Series a(3), b(4);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(Series::mul(a, b), std::invalid_argument);
+  EXPECT_THROW(Series::divide(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ksw::pgf

@@ -1,0 +1,140 @@
+#include "rng/xoshiro.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ksw::rng {
+namespace {
+
+TEST(SplitMix64, KnownAnswerSequence) {
+  // Reference values for seed 1234567 from the public-domain SplitMix64
+  // reference implementation.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+  EXPECT_EQ(sm.next(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, ZeroSeedIsFine) {
+  SplitMix64 sm(0);
+  EXPECT_NE(sm.next(), 0ULL);
+}
+
+TEST(Xoshiro256, DeterministicForFixedSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 gen(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = gen.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 gen(11);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+      if (gen.bernoulli(p)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(Xoshiro256, UniformIntIsUnbiased) {
+  Xoshiro256 gen(13);
+  const std::uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[gen.uniform_int(n)];
+  for (std::uint64_t v = 0; v < n; ++v)
+    EXPECT_NEAR(static_cast<double>(counts[v]) / draws, 0.1, 0.01);
+}
+
+TEST(Xoshiro256, UniformIntEdgeCases) {
+  Xoshiro256 gen(17);
+  EXPECT_EQ(gen.uniform_int(0), 0u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(gen.uniform_int(1), 0u);
+}
+
+TEST(Xoshiro256, GeometricMoments) {
+  Xoshiro256 gen(19);
+  for (double p : {0.2, 0.5, 0.8}) {
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      const auto v = static_cast<double>(gen.geometric(p));
+      ASSERT_GE(v, 1.0);
+      sum += v;
+      sum2 += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0 / p, 0.03 / p) << "p=" << p;
+    EXPECT_NEAR(var, (1.0 - p) / (p * p), 0.15 / (p * p)) << "p=" << p;
+  }
+}
+
+TEST(Xoshiro256, GeometricCertainSuccess) {
+  Xoshiro256 gen(23);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(gen.geometric(1.0), 1u);
+}
+
+TEST(Xoshiro256, JumpProducesDisjointStream) {
+  Xoshiro256 base(5);
+  Xoshiro256 jumped = base;
+  jumped.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(base());
+  int overlap = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (first.count(jumped())) ++overlap;
+  EXPECT_EQ(overlap, 0);
+}
+
+TEST(Xoshiro256, SplitIsJumpComposition) {
+  Xoshiro256 base(31);
+  Xoshiro256 manual = base;
+  manual.jump();
+  manual.jump();
+  Xoshiro256 split = base.split(2);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(manual(), split());
+  // split() leaves the source untouched.
+  Xoshiro256 fresh(31);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(base(), fresh());
+}
+
+TEST(Xoshiro256, LongJumpDiffersFromJump) {
+  Xoshiro256 a(3), b(3);
+  a.jump();
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace ksw::rng

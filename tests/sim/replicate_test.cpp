@@ -1,0 +1,92 @@
+#include "sim/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ksw::sim {
+namespace {
+
+NetworkConfig tiny_network() {
+  NetworkConfig cfg;
+  cfg.stages = 4;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 4'000;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ReplicateSeed, DistinctPerReplicate) {
+  const auto s0 = replicate_seed(42, 0);
+  const auto s1 = replicate_seed(42, 1);
+  const auto s2 = replicate_seed(43, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, s2);
+  // Deterministic.
+  EXPECT_EQ(replicate_seed(42, 0), s0);
+}
+
+TEST(ReplicateNetwork, IdenticalAcrossThreadCounts) {
+  const NetworkConfig cfg = tiny_network();
+  par::ThreadPool one(1);
+  par::ThreadPool many(8);
+  const auto a = replicate_network(cfg, 6, one);
+  const auto b = replicate_network(cfg, 6, many);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  for (unsigned s = 0; s < cfg.stages; ++s) {
+    EXPECT_DOUBLE_EQ(a.stage_wait[s].mean(), b.stage_wait[s].mean());
+    EXPECT_DOUBLE_EQ(a.stage_wait[s].variance(), b.stage_wait[s].variance());
+  }
+}
+
+TEST(ReplicateNetwork, MergesAllReplicates) {
+  const NetworkConfig cfg = tiny_network();
+  par::ThreadPool pool(4);
+  const auto single = run_network(cfg);
+  const auto merged = replicate_network(cfg, 4, pool);
+  // Four replicates carry roughly four times the packets of one run.
+  EXPECT_GT(merged.packets_injected, 3 * single.packets_injected);
+  EXPECT_GT(merged.stage_wait[0].count(), 3 * single.stage_wait[0].count());
+}
+
+TEST(ReplicateNetwork, TightensEstimate) {
+  NetworkConfig cfg = tiny_network();
+  cfg.measure_cycles = 2'000;
+  par::ThreadPool pool(4);
+  const auto merged = replicate_network(cfg, 8, pool);
+  EXPECT_NEAR(merged.stage_wait[0].mean(), 0.25, 0.01);
+}
+
+TEST(ReplicateFirstStage, IdenticalAcrossThreadCounts) {
+  FirstStageConfig cfg;
+  cfg.measure_cycles = 5'000;
+  cfg.warmup_cycles = 500;
+  par::ThreadPool one(1);
+  par::ThreadPool many(6);
+  const auto a = replicate_first_stage(cfg, 5, one);
+  const auto b = replicate_first_stage(cfg, 5, many);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_DOUBLE_EQ(a.waiting.mean(), b.waiting.mean());
+}
+
+TEST(ReplicateNetworkMeans, ProducesPerReplicateMeans) {
+  const NetworkConfig cfg = tiny_network();
+  par::ThreadPool pool(4);
+  const auto means = replicate_network_means(cfg, 6, pool, 0);
+  ASSERT_EQ(means.size(), 6u);
+  for (double m : means) {
+    EXPECT_GT(m, 0.1);
+    EXPECT_LT(m, 0.4);
+  }
+  // Replicates differ (independent streams).
+  EXPECT_NE(means[0], means[1]);
+}
+
+TEST(Replicate, RejectsZeroReplicates) {
+  par::ThreadPool pool(2);
+  EXPECT_THROW(replicate_network(tiny_network(), 0, pool),
+               std::invalid_argument);
+  FirstStageConfig fcfg;
+  EXPECT_THROW(replicate_first_stage(fcfg, 0, pool), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ksw::sim

@@ -1,0 +1,80 @@
+#include "sim/ring_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <random>
+#include <string>
+
+namespace ksw::sim {
+namespace {
+
+TEST(RingQueue, StartsEmpty) {
+  RingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RingQueue, FifoOrder) {
+  RingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, GrowsAcrossWrapAround) {
+  RingQueue<int> q;
+  // Interleave pushes and pops so head wraps before growth.
+  for (int i = 0; i < 3; ++i) q.push(i);
+  q.pop();
+  q.pop();
+  for (int i = 3; i < 20; ++i) q.push(i);  // forces growth mid-ring
+  for (int i = 2; i < 20; ++i) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.front(), i);
+    q.pop();
+  }
+}
+
+TEST(RingQueue, MatchesDequeUnderRandomWorkload) {
+  RingQueue<int> q;
+  std::deque<int> ref;
+  std::mt19937 gen(5);
+  int next = 0;
+  for (int step = 0; step < 100000; ++step) {
+    if (ref.empty() || gen() % 3 != 0) {
+      q.push(next);
+      ref.push_back(next);
+      ++next;
+    } else {
+      ASSERT_EQ(q.front(), ref.front());
+      q.pop();
+      ref.pop_front();
+    }
+    ASSERT_EQ(q.size(), ref.size());
+  }
+}
+
+TEST(RingQueue, ClearResets) {
+  RingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push(i);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push(42);
+  EXPECT_EQ(q.front(), 42);
+}
+
+TEST(RingQueue, HoldsNonTrivialTypes) {
+  RingQueue<std::string> q;
+  q.push("alpha");
+  q.push("beta");
+  EXPECT_EQ(q.front(), "alpha");
+  q.pop();
+  EXPECT_EQ(q.front(), "beta");
+}
+
+}  // namespace
+}  // namespace ksw::sim

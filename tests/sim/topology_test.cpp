@@ -1,0 +1,124 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "sim/network.hpp"
+
+namespace ksw::sim {
+namespace {
+
+// Follow a packet's full route through the address arithmetic.
+std::uint32_t route(const Topology& topo, std::uint32_t src,
+                    std::uint32_t dst) {
+  std::uint32_t q = topo.entry_queue(src, dst);
+  for (unsigned s = 0; s + 1 < topo.stages(); ++s)
+    q = topo.next_queue(s, q, dst);
+  return topo.exit_port(q);
+}
+
+class TopologyRouting
+    : public ::testing::TestWithParam<std::tuple<TopologyKind, unsigned>> {};
+
+TEST_P(TopologyRouting, EveryPairIsRoutedToItsDestination) {
+  const auto [kind, k] = GetParam();
+  const unsigned stages = k == 2 ? 4 : 3;
+  const Topology topo(kind, k, stages);
+  for (std::uint32_t src = 0; src < topo.ports(); ++src)
+    for (std::uint32_t dst = 0; dst < topo.ports(); ++dst)
+      ASSERT_EQ(route(topo, src, dst), dst) << "src=" << src
+                                            << " dst=" << dst;
+}
+
+TEST_P(TopologyRouting, BanyanFanInProperty) {
+  // Exactly k distinct stage-s queues feed any stage-(s+1) queue.
+  const auto [kind, k] = GetParam();
+  const Topology topo(kind, k, 3);
+  for (unsigned s = 0; s + 1 < topo.stages(); ++s) {
+    std::map<std::uint32_t, std::set<std::uint32_t>> feeders;
+    for (std::uint32_t q = 0; q < topo.ports(); ++q)
+      for (std::uint32_t dst = 0; dst < topo.ports(); ++dst)
+        feeders[topo.next_queue(s, q, dst)].insert(q);
+    for (const auto& [queue, sources] : feeders)
+      EXPECT_EQ(sources.size(), k) << "stage " << s << " queue " << queue;
+  }
+}
+
+TEST_P(TopologyRouting, FirstStageLoadIsUniformForUniformTraffic) {
+  // Every stage-0 queue is the entry queue of exactly ports() (src, dst)
+  // pairs under all-to-all traffic.
+  const auto [kind, k] = GetParam();
+  const Topology topo(kind, k, 3);
+  std::map<std::uint32_t, unsigned> load;
+  for (std::uint32_t src = 0; src < topo.ports(); ++src)
+    for (std::uint32_t dst = 0; dst < topo.ports(); ++dst)
+      ++load[topo.entry_queue(src, dst)];
+  for (std::uint32_t q = 0; q < topo.ports(); ++q)
+    EXPECT_EQ(load[q], topo.ports()) << "queue " << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, TopologyRouting,
+    ::testing::Combine(::testing::Values(TopologyKind::kButterfly,
+                                         TopologyKind::kOmega),
+                       ::testing::Values(2u, 3u, 4u)));
+
+TEST(Topology, ShuffleRotatesDigits) {
+  const Topology topo(TopologyKind::kOmega, 2, 4);
+  // 0b0110 -> 0b1100 (left rotation).
+  EXPECT_EQ(topo.shuffle(0b0110), 0b1100u);
+  EXPECT_EQ(topo.shuffle(0b1000), 0b0001u);
+  // Shuffle is a permutation: applying it n times is the identity.
+  for (std::uint32_t x = 0; x < topo.ports(); ++x) {
+    std::uint32_t y = x;
+    for (unsigned i = 0; i < topo.stages(); ++i) y = topo.shuffle(y);
+    EXPECT_EQ(y, x);
+  }
+}
+
+TEST(Topology, Validation) {
+  EXPECT_THROW(Topology(TopologyKind::kOmega, 1, 4), std::invalid_argument);
+  EXPECT_THROW(Topology(TopologyKind::kOmega, 2, 0), std::invalid_argument);
+  EXPECT_THROW(Topology(TopologyKind::kOmega, 4, 15), std::invalid_argument);
+  EXPECT_EQ(Topology(TopologyKind::kButterfly, 2, 4).describe(),
+            "butterfly(k=2, stages=4)");
+}
+
+TEST(Topology, OmegaNetworkMatchesButterflyStatistics) {
+  // Isomorphic wirings: identical per-stage waiting statistics under
+  // uniform traffic (up to Monte-Carlo noise with different addressing).
+  NetworkConfig butterfly;
+  butterfly.stages = 6;
+  butterfly.warmup_cycles = 2'000;
+  butterfly.measure_cycles = 40'000;
+  NetworkConfig omega = butterfly;
+  omega.topology = TopologyKind::kOmega;
+  const auto a = run_network(butterfly);
+  const auto b = run_network(omega);
+  for (unsigned s = 0; s < butterfly.stages; ++s) {
+    EXPECT_NEAR(a.stage_wait[s].mean(), b.stage_wait[s].mean(), 0.01)
+        << "stage " << s;
+    EXPECT_NEAR(a.stage_wait[s].variance(), b.stage_wait[s].variance(),
+                0.02)
+        << "stage " << s;
+  }
+}
+
+TEST(Topology, OmegaFavoriteTrafficIsAlsoConflictFree) {
+  // q = 1 (dst == src) must be waiting-free in the Omega wiring too.
+  NetworkConfig cfg;
+  cfg.topology = TopologyKind::kOmega;
+  cfg.stages = 5;
+  cfg.q = 1.0;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 5'000;
+  const auto r = run_network(cfg);
+  for (unsigned s = 0; s < cfg.stages; ++s)
+    EXPECT_DOUBLE_EQ(r.stage_wait[s].max(), 0.0) << "stage " << s;
+}
+
+}  // namespace
+}  // namespace ksw::sim

@@ -1,0 +1,129 @@
+#include "stats/accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace ksw::stats {
+namespace {
+
+TEST(Accumulator, EmptyStateIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.skewness(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(Accumulator, SingleObservation) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Accumulator, KnownSmallSample) {
+  // x = {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population variance 4.
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_NEAR(acc.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, SkewnessOfSymmetricSampleIsZero) {
+  Accumulator acc;
+  for (double x : {-2.0, -1.0, 0.0, 1.0, 2.0}) acc.add(x);
+  EXPECT_NEAR(acc.skewness(), 0.0, 1e-12);
+}
+
+TEST(Accumulator, SkewnessOfKnownSample) {
+  // Exponential-ish sample; compare against direct computation.
+  std::vector<double> xs = {0.1, 0.2, 0.3, 0.5, 1.0, 2.0, 4.5, 9.0};
+  Accumulator acc;
+  double mu = 0.0;
+  for (double x : xs) {
+    acc.add(x);
+    mu += x;
+  }
+  mu /= static_cast<double>(xs.size());
+  double m2 = 0.0, m3 = 0.0;
+  for (double x : xs) {
+    m2 += (x - mu) * (x - mu);
+    m3 += (x - mu) * (x - mu) * (x - mu);
+  }
+  m2 /= static_cast<double>(xs.size());
+  m3 /= static_cast<double>(xs.size());
+  EXPECT_NEAR(acc.skewness(), m3 / std::pow(m2, 1.5), 1e-10);
+}
+
+TEST(Accumulator, MergeMatchesConcatenation) {
+  std::mt19937 gen(42);
+  std::uniform_real_distribution<double> dist(-5.0, 20.0);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(gen);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_NEAR(left.skewness(), whole.skewness(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.add(2.0);
+  Accumulator a_copy = a;
+  a.merge(b);  // empty right
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty left
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Accumulator, NumericallyStableAroundLargeMean) {
+  // Classic catastrophic-cancellation case for naive sum-of-squares.
+  Accumulator acc;
+  const double base = 1e9;
+  for (double x : {base + 4.0, base + 7.0, base + 13.0, base + 16.0})
+    acc.add(x);
+  EXPECT_NEAR(acc.mean(), base + 10.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 22.5, 1e-6);
+}
+
+TEST(Accumulator, ResetClears) {
+  Accumulator acc;
+  acc.add(5.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(Accumulator, LongStreamMatchesClosedForm) {
+  // Uniform integers 0..9: mean 4.5, variance 8.25.
+  Accumulator acc;
+  for (int rep = 0; rep < 1000; ++rep)
+    for (int v = 0; v < 10; ++v) acc.add(static_cast<double>(v));
+  EXPECT_NEAR(acc.mean(), 4.5, 1e-12);
+  EXPECT_NEAR(acc.variance(), 8.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace ksw::stats

@@ -1,0 +1,99 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace ksw::stats {
+namespace {
+
+TEST(StudentT, KnownCriticalValues) {
+  // Standard t-table entries, two-sided 95%.
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(2, 0.95), 4.303, 1e-3);
+  EXPECT_NEAR(student_t_critical(5, 0.95), 2.571, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.042, 1e-3);
+  // 99% level.
+  EXPECT_NEAR(student_t_critical(10, 0.99), 3.169, 1e-3);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(student_t_critical(100000, 0.95), 1.960, 1e-2);
+}
+
+TEST(StudentT, RejectsBadArgs) {
+  EXPECT_THROW(student_t_critical(0, 0.95), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(5, 1.0), std::invalid_argument);
+}
+
+TEST(ReplicateInterval, KnownSample) {
+  // Means {1, 2, 3}: grand mean 2, s^2 = 1, se = 1/sqrt(3).
+  const std::vector<double> means = {1.0, 2.0, 3.0};
+  const auto ci = replicate_interval(means, 0.95);
+  EXPECT_NEAR(ci.point, 2.0, 1e-12);
+  EXPECT_NEAR(ci.half_width, 4.303 / std::sqrt(3.0), 1e-2);
+  EXPECT_TRUE(ci.contains(2.0));
+  EXPECT_EQ(ci.samples, 3u);
+}
+
+TEST(ReplicateInterval, RequiresTwoReplicates) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(replicate_interval(one), std::invalid_argument);
+}
+
+TEST(ReplicateInterval, CoversTrueMeanMostOfTheTime) {
+  std::mt19937 gen(99);
+  std::normal_distribution<double> dist(10.0, 2.0);
+  int covered = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> means;
+    for (int r = 0; r < 8; ++r) {
+      double s = 0.0;
+      for (int i = 0; i < 16; ++i) s += dist(gen);
+      means.push_back(s / 16.0);
+    }
+    if (replicate_interval(means, 0.95).contains(10.0)) ++covered;
+  }
+  // Nominal coverage 95%; allow generous slack for Monte Carlo noise.
+  EXPECT_GT(covered, trials * 0.88);
+}
+
+TEST(BatchMeans, MatchesReplicateOnIidData) {
+  std::mt19937 gen(7);
+  std::normal_distribution<double> dist(5.0, 1.0);
+  std::vector<double> stream;
+  for (int i = 0; i < 6400; ++i) stream.push_back(dist(gen));
+  const auto ci = batch_means(stream, 32, 0.95);
+  EXPECT_NEAR(ci.point, 5.0, 0.1);
+  EXPECT_LT(ci.half_width, 0.1);
+  EXPECT_TRUE(ci.contains(5.0));
+}
+
+TEST(BatchMeans, WiderForCorrelatedData) {
+  // AR(1) stream with strong positive correlation: batch-means interval
+  // must be wider than the naive iid one on the same data.
+  std::mt19937 gen(21);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> stream;
+  double x = 0.0;
+  for (int i = 0; i < 12800; ++i) {
+    x = 0.95 * x + noise(gen);
+    stream.push_back(x);
+  }
+  const auto coarse = batch_means(stream, 16);
+  // Pseudo-iid interval: every point its own "batch".
+  const auto naive = batch_means(stream, 3200);
+  EXPECT_GT(coarse.half_width, naive.half_width);
+}
+
+TEST(BatchMeans, RejectsDegenerateInput) {
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(batch_means(tiny, 1), std::invalid_argument);
+  EXPECT_THROW(batch_means(std::vector<double>{}, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ksw::stats

@@ -1,0 +1,115 @@
+#include "stats/covariance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ksw::stats {
+namespace {
+
+TEST(CovarianceAccumulator, PerfectlyCorrelatedPairs) {
+  CovarianceAccumulator acc;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i);
+    acc.add(x, 2.0 * x + 1.0);
+  }
+  EXPECT_NEAR(acc.correlation(), 1.0, 1e-12);
+  EXPECT_NEAR(acc.covariance(), 2.0 * acc.variance_x(), 1e-9);
+}
+
+TEST(CovarianceAccumulator, AntiCorrelatedPairs) {
+  CovarianceAccumulator acc;
+  for (int i = 0; i < 100; ++i)
+    acc.add(static_cast<double>(i), -3.0 * static_cast<double>(i));
+  EXPECT_NEAR(acc.correlation(), -1.0, 1e-12);
+}
+
+TEST(CovarianceAccumulator, IndependentStreamsNearZero) {
+  std::mt19937 gen(7);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  CovarianceAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(dist(gen), dist(gen));
+  EXPECT_NEAR(acc.correlation(), 0.0, 0.01);
+}
+
+TEST(CovarianceAccumulator, KnownSmallSample) {
+  // x = {1,2,3}, y = {2,4,7}: cov = E[xy]-E[x]E[y] = 29/3 - 2*13/3 = 5/3...
+  // direct: mean_x=2, mean_y=13/3; cov = ((1-2)(2-13/3)+(2-2)(4-13/3)
+  //          +(3-2)(7-13/3))/3 = (7/3 + 0 + 8/3)/3 = 5/3.
+  CovarianceAccumulator acc;
+  acc.add(1, 2);
+  acc.add(2, 4);
+  acc.add(3, 7);
+  EXPECT_NEAR(acc.covariance(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.mean_x(), 2.0, 1e-12);
+  EXPECT_NEAR(acc.mean_y(), 13.0 / 3.0, 1e-12);
+}
+
+TEST(CovarianceAccumulator, MergeMatchesConcatenation) {
+  std::mt19937 gen(11);
+  std::normal_distribution<double> dist(0.0, 2.0);
+  CovarianceAccumulator whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(gen);
+    const double y = 0.5 * x + dist(gen);
+    whole.add(x, y);
+    (i % 3 == 0 ? a : b).add(x, y);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.covariance(), whole.covariance(), 1e-9);
+  EXPECT_NEAR(a.correlation(), whole.correlation(), 1e-9);
+}
+
+TEST(CovarianceMatrix, DiagonalIsVariance) {
+  CovarianceMatrix m(3);
+  std::mt19937 gen(3);
+  std::uniform_real_distribution<double> dist(0.0, 4.0);
+  CovarianceAccumulator check01;
+  for (int i = 0; i < 1000; ++i) {
+    const double a = dist(gen), b = dist(gen), c = a + b;
+    m.add({a, b, c});
+    check01.add(a, b);
+  }
+  EXPECT_NEAR(m.covariance(0, 1), check01.covariance(), 1e-9);
+  EXPECT_NEAR(m.correlation(0, 0), 1.0, 1e-12);
+  // c = a + b: cov(a,c) = var(a) + cov(a,b).
+  EXPECT_NEAR(m.covariance(0, 2), m.covariance(0, 0) + m.covariance(0, 1),
+              1e-9);
+}
+
+TEST(CovarianceMatrix, SymmetricAccess) {
+  CovarianceMatrix m(4);
+  std::mt19937 gen(5);
+  std::normal_distribution<double> dist;
+  for (int i = 0; i < 300; ++i)
+    m.add({dist(gen), dist(gen), dist(gen), dist(gen)});
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(m.covariance(i, j), m.covariance(j, i));
+}
+
+TEST(CovarianceMatrix, MergeMatchesConcatenation) {
+  CovarianceMatrix whole(2), a(2), b(2);
+  std::mt19937 gen(13);
+  std::normal_distribution<double> dist;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> v = {dist(gen), dist(gen)};
+    whole.add(v);
+    (i < 100 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.covariance(0, 1), whole.covariance(0, 1), 1e-9);
+  EXPECT_NEAR(a.mean(0), whole.mean(0), 1e-10);
+}
+
+TEST(CovarianceMatrix, RejectsDimensionMismatch) {
+  CovarianceMatrix m(3);
+  EXPECT_THROW(m.add({1.0, 2.0}), std::invalid_argument);
+  CovarianceMatrix other(2);
+  EXPECT_THROW(m.merge(other), std::invalid_argument);
+  EXPECT_THROW(CovarianceMatrix(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ksw::stats

@@ -1,0 +1,85 @@
+#include "stats/gamma_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ksw::stats {
+namespace {
+
+TEST(GammaDistribution, MomentMatching) {
+  const auto g = GammaDistribution::from_moments(3.0, 1.5);
+  EXPECT_NEAR(g.mean(), 3.0, 1e-12);
+  EXPECT_NEAR(g.variance(), 1.5, 1e-12);
+  EXPECT_NEAR(g.shape(), 6.0, 1e-12);
+  EXPECT_NEAR(g.scale(), 0.5, 1e-12);
+}
+
+TEST(GammaDistribution, ExponentialSpecialCase) {
+  // shape 1 = Exp(1/scale).
+  const GammaDistribution g(1.0, 2.0);
+  EXPECT_NEAR(g.pdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(g.pdf(2.0), 0.5 * std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(g.cdf(2.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(GammaDistribution, PdfIntegratesToCdf) {
+  const GammaDistribution g(2.7, 1.3);
+  // Trapezoidal integral of the pdf vs cdf.
+  const double hi = 12.0;
+  const int steps = 40000;
+  double acc = 0.0;
+  double prev = g.pdf(0.0);
+  for (int i = 1; i <= steps; ++i) {
+    const double x = hi * i / steps;
+    const double cur = g.pdf(x);
+    acc += 0.5 * (prev + cur) * (hi / steps);
+    prev = cur;
+  }
+  EXPECT_NEAR(acc, g.cdf(hi), 1e-6);
+}
+
+TEST(GammaDistribution, QuantileInvertsCdf) {
+  const GammaDistribution g(4.2, 0.8);
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999})
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-9) << "p=" << p;
+}
+
+TEST(GammaDistribution, MedianOfExponential) {
+  const GammaDistribution g(1.0, 1.0);
+  EXPECT_NEAR(g.quantile(0.5), std::log(2.0), 1e-9);
+}
+
+TEST(GammaDistribution, IntervalProbability) {
+  const GammaDistribution g(3.0, 1.0);
+  EXPECT_NEAR(g.interval_probability(1.0, 2.0), g.cdf(2.0) - g.cdf(1.0),
+              1e-15);
+  EXPECT_DOUBLE_EQ(g.interval_probability(2.0, 1.0), 0.0);
+}
+
+TEST(GammaDistribution, PdfAtZeroEdgeCases) {
+  EXPECT_TRUE(std::isinf(GammaDistribution(0.5, 1.0).pdf(0.0)));
+  EXPECT_DOUBLE_EQ(GammaDistribution(1.0, 4.0).pdf(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(GammaDistribution(2.0, 1.0).pdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(GammaDistribution(2.0, 1.0).pdf(-1.0), 0.0);
+}
+
+TEST(GammaDistribution, RejectsBadParameters) {
+  EXPECT_THROW(GammaDistribution(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GammaDistribution(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(GammaDistribution::from_moments(0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(GammaDistribution(1.0, 1.0).quantile(0.0),
+               std::invalid_argument);
+}
+
+TEST(GammaDistribution, LargeShapeApproachesNormal) {
+  // For large shape, (X - mean)/sd is approximately standard normal:
+  // cdf(mean) ~ 0.5.
+  const auto g = GammaDistribution::from_moments(100.0, 1.0);
+  EXPECT_NEAR(g.cdf(100.0), 0.5, 0.02);
+  EXPECT_NEAR(g.cdf(100.0 + 1.96), 0.975, 0.01);
+}
+
+}  // namespace
+}  // namespace ksw::stats

@@ -1,0 +1,108 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ksw::stats {
+namespace {
+
+TEST(IntHistogram, EmptyState) {
+  IntHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_value(), -1);
+  EXPECT_DOUBLE_EQ(h.pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), -1);
+}
+
+TEST(IntHistogram, BasicTally) {
+  IntHistogram h;
+  h.add(0);
+  h.add(0);
+  h.add(3);
+  h.add(5, 2);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(5), 2u);
+  EXPECT_EQ(h.count(4), 0u);
+  EXPECT_EQ(h.max_value(), 5);
+  EXPECT_DOUBLE_EQ(h.pmf(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.cdf(3), 0.6);
+  EXPECT_DOUBLE_EQ(h.cdf(5), 1.0);
+}
+
+TEST(IntHistogram, MeanVarianceMatchDirect) {
+  IntHistogram h;
+  // Values: 1,1,2,4 -> mean 2, var = (1+1+0+4)/4 = 1.5.
+  h.add(1, 2);
+  h.add(2);
+  h.add(4);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.variance(), 1.5);
+}
+
+TEST(IntHistogram, Quantiles) {
+  IntHistogram h;
+  for (int v = 0; v < 10; ++v) h.add(v, 10);  // uniform over 0..9
+  EXPECT_EQ(h.quantile(0.05), 0);
+  EXPECT_EQ(h.quantile(0.5), 4);
+  EXPECT_EQ(h.quantile(0.95), 9);
+  EXPECT_EQ(h.quantile(1.0), 9);
+}
+
+TEST(IntHistogram, QuantileSkipsEmptyValues) {
+  IntHistogram h;
+  h.add(0, 50);
+  h.add(10, 50);
+  EXPECT_EQ(h.quantile(0.6), 10);
+}
+
+TEST(IntHistogram, RejectsNegativeAndBadArgs) {
+  IntHistogram h;
+  EXPECT_THROW(h.add(-1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.5), std::invalid_argument);
+  EXPECT_THROW(h.binned_pmf(0), std::invalid_argument);
+}
+
+TEST(IntHistogram, MergeAddsCounts) {
+  IntHistogram a, b;
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(2), 2u);
+  EXPECT_EQ(a.count(7), 1u);
+  EXPECT_EQ(a.max_value(), 7);
+}
+
+TEST(IntHistogram, BinnedPmfSumsToOne) {
+  IntHistogram h;
+  for (int v = 0; v < 23; ++v) h.add(v, static_cast<std::uint64_t>(v + 1));
+  const auto bins = h.binned_pmf(5);
+  EXPECT_EQ(bins.size(), 5u);  // ceil(23/5)
+  double sum = 0.0;
+  for (double x : bins) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // First bin holds values 0..4 with counts 1..5 out of total 276.
+  EXPECT_NEAR(bins[0], 15.0 / 276.0, 1e-12);
+}
+
+TEST(IntHistogram, CdfIsMonotone) {
+  IntHistogram h;
+  h.add(2, 3);
+  h.add(6, 4);
+  h.add(9, 1);
+  double prev = -1.0;
+  for (std::int64_t v = 0; v <= h.max_value(); ++v) {
+    EXPECT_GE(h.cdf(v), prev);
+    prev = h.cdf(v);
+  }
+  EXPECT_DOUBLE_EQ(h.cdf(h.max_value()), 1.0);
+}
+
+}  // namespace
+}  // namespace ksw::stats

@@ -1,0 +1,103 @@
+#include "stats/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ksw::stats {
+namespace {
+
+TEST(LogGamma, IntegerFactorials) {
+  // Gamma(n) = (n-1)!.
+  double fact = 1.0;
+  for (int n = 1; n <= 15; ++n) {
+    EXPECT_NEAR(log_gamma(n), std::log(fact), 1e-11) << "n=" << n;
+    fact *= n;
+  }
+}
+
+TEST(LogGamma, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi); Gamma(3/2) = sqrt(pi)/2.
+  const double sqrt_pi = std::sqrt(3.14159265358979323846);
+  EXPECT_NEAR(std::exp(log_gamma(0.5)), sqrt_pi, 1e-12);
+  EXPECT_NEAR(std::exp(log_gamma(1.5)), sqrt_pi / 2.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_gamma(2.5)), 3.0 * sqrt_pi / 4.0, 1e-12);
+}
+
+TEST(LogGamma, AgreesWithStdLgamma) {
+  for (double x : {0.1, 0.37, 1.2, 3.7, 11.0, 42.5, 170.0})
+    EXPECT_NEAR(log_gamma(x), std::lgamma(x), 1e-9 * (1.0 + std::lgamma(x)))
+        << "x=" << x;
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), std::domain_error);
+  EXPECT_THROW(log_gamma(-1.5), std::domain_error);
+}
+
+TEST(RegularizedGammaP, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(2.0, 0.0), 1.0);
+}
+
+TEST(RegularizedGammaP, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0})
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+}
+
+TEST(RegularizedGammaP, ErlangSpecialCase) {
+  // P(2, x) = 1 - e^{-x}(1 + x).
+  for (double x : {0.2, 1.0, 3.0, 8.0})
+    EXPECT_NEAR(regularized_gamma_p(2.0, x),
+                1.0 - std::exp(-x) * (1.0 + x), 1e-12);
+}
+
+TEST(RegularizedGammaP, ComplementsSumToOne) {
+  for (double a : {0.3, 1.0, 2.7, 10.0, 50.0})
+    for (double x : {0.01, 0.5, 2.0, 9.0, 60.0})
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+}
+
+TEST(RegularizedGammaP, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 20.0; x += 0.25) {
+    const double v = regularized_gamma_p(3.5, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-5);
+}
+
+TEST(ErrorFunction, KnownValues) {
+  EXPECT_NEAR(error_function(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(error_function(1.0), 0.8427007929497149, 1e-10);
+  EXPECT_NEAR(error_function(-1.0), -0.8427007929497149, 1e-10);
+  EXPECT_NEAR(error_function(2.0), 0.9953222650189527, 1e-10);
+}
+
+TEST(RegularizedBeta, BoundaryAndSymmetry) {
+  EXPECT_DOUBLE_EQ(regularized_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_beta(2.0, 3.0, 1.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.1, 0.3, 0.5, 0.8})
+    EXPECT_NEAR(regularized_beta(2.5, 1.5, x),
+                1.0 - regularized_beta(1.5, 2.5, 1.0 - x), 1e-12);
+}
+
+TEST(RegularizedBeta, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.05, 0.25, 0.5, 0.75, 0.99})
+    EXPECT_NEAR(regularized_beta(1.0, 1.0, x), x, 1e-12);
+}
+
+TEST(RegularizedBeta, BinomialIdentity) {
+  // I_x(a, 1) = x^a.
+  for (double x : {0.2, 0.6, 0.9})
+    EXPECT_NEAR(regularized_beta(3.0, 1.0, x), x * x * x, 1e-12);
+}
+
+}  // namespace
+}  // namespace ksw::stats

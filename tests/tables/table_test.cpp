@@ -1,0 +1,65 @@
+#include "tables/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ksw::tables {
+namespace {
+
+TEST(FormatNumber, FixedPrecision) {
+  EXPECT_EQ(format_number(0.25, 4), "0.2500");
+  EXPECT_EQ(format_number(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(format_number(-1.5, 1), "-1.5");
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t("Demo table", {"row", "a", "b"});
+  t.begin_row("first").add_number(0.25).add_number(1.5, 2);
+  t.begin_row("second").add_cell("x").add_blank();
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo table"), std::string::npos);
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_NE(out.find("0.2500"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("| row"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t("T", {"label", "value"});
+  t.begin_row("x").add_number(1.0);
+  t.begin_row("longer-label").add_number(22.5);
+  std::ostringstream os;
+  t.print(os);
+  // All data lines share the same width.
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_GT(width, 0u);
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table t("T", {"label", "a", "b"});
+  t.begin_row("only-label");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-label"), std::string::npos);
+}
+
+TEST(Table, CellWithoutRowStartsOne) {
+  Table t("T", {"a"});
+  t.add_cell("standalone");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("standalone"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ksw::tables
