@@ -5,12 +5,25 @@
 //                   [--warmup=N] [--seed=N] [--replicates=R] [--threads=T]
 //                   [--buffer-capacity=C] [--correlations]
 //                   [--checkpoints=3,6,9,12] [--format=table|json|csv]
+//                   [--metrics-out=FILE] [--obs-stride=N] [--obs-trace=N]
+//                   [--obs-wall]
+//
+// --metrics-out writes a structured run report (JSON, or flat CSV when
+// FILE ends in .csv; "-" streams to stdout): per-stage occupancy
+// histograms, drop/block counters, phase timers, and a warmup-convergence
+// trace against the paper's eq. 12 prediction. The report is bit-identical
+// for a fixed seed regardless of --threads; --obs-wall adds wall-clock
+// phase durations and thread-pool telemetry, which are not.
+#include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "core/later_stages.hpp"
 #include "io/csv.hpp"
 #include "io/json.hpp"
 #include "kswsim/cli.hpp"
+#include "obs/report.hpp"
 #include "sim/replicate.hpp"
 #include "tables/table.hpp"
 
@@ -28,9 +41,114 @@ std::vector<unsigned> parse_checkpoints(const std::string& text) {
     const long v = std::stol(item, &pos);
     if (pos != item.size() || v <= 0)
       throw std::invalid_argument("--checkpoints: bad value " + item);
+    if (!out.empty() && static_cast<unsigned>(v) <= out.back())
+      throw std::invalid_argument(
+          "--checkpoints: values must be strictly increasing (got " + item +
+          " after " + std::to_string(out.back()) + ")");
     out.push_back(static_cast<unsigned>(v));
   }
   return out;
+}
+
+/// Eq. 12 per-stage mean-wait predictions (and the eq. 11 limit) for the
+/// convergence trace. Empty when the analytic model rejects the operating
+/// point (e.g. rho >= 1, where no steady state exists).
+std::vector<double> eq12_predictions(const sim::NetworkConfig& cfg,
+                                     std::optional<double>* limit) {
+  try {
+    core::NetworkTrafficSpec spec;
+    spec.k = cfg.k;
+    spec.p = cfg.p;
+    spec.bulk = cfg.bulk;
+    spec.q = cfg.q;
+    spec.service = cfg.service.to_model();
+    const core::LaterStages ls(spec);
+    std::vector<double> pred;
+    pred.reserve(cfg.stages);
+    for (unsigned i = 1; i <= cfg.stages; ++i)
+      pred.push_back(ls.mean_at_stage(i));
+    *limit = ls.mean_limit();
+    return pred;
+  } catch (const std::exception&) {
+    limit->reset();
+    return {};
+  }
+}
+
+/// Assemble the full structured run report.
+io::Json build_run_report(const sim::NetworkConfig& cfg,
+                          const sim::NetworkResults& r, unsigned replicates,
+                          const obs::Registry& pool_metrics,
+                          const obs::ReportOptions& opts) {
+  io::Json doc = io::Json::object();
+  doc.set("schema", "ksw.obs.report/v1");
+  doc.set("command", "simulate");
+
+  io::Json config = io::Json::object();
+  config.set("k", static_cast<std::int64_t>(cfg.k));
+  config.set("stages", static_cast<std::int64_t>(cfg.stages));
+  config.set("p", cfg.p);
+  config.set("bulk", static_cast<std::int64_t>(cfg.bulk));
+  config.set("q", cfg.q);
+  config.set("hotspot", cfg.hotspot);
+  config.set("service_mean", cfg.service.mean());
+  config.set("rho", cfg.rho());
+  config.set("buffer_capacity", static_cast<std::int64_t>(cfg.buffer_capacity));
+  config.set("warmup_cycles", static_cast<std::int64_t>(cfg.warmup_cycles));
+  config.set("measure_cycles", static_cast<std::int64_t>(cfg.measure_cycles));
+  config.set("seed", static_cast<std::uint64_t>(cfg.seed));
+  config.set("replicates", static_cast<std::int64_t>(replicates));
+  config.set("obs_stride", static_cast<std::int64_t>(cfg.obs.stride));
+  config.set("trace_points", static_cast<std::int64_t>(cfg.obs.trace_points));
+  doc.set("config", std::move(config));
+
+  doc.set("metrics", obs::registry_to_json(r.metrics, opts));
+
+  std::optional<double> limit;
+  const std::vector<double> predicted = eq12_predictions(cfg, &limit);
+  doc.set("convergence", obs::trace_to_json(r.convergence, predicted, limit));
+
+  // Thread-pool telemetry is runtime profile, not simulation state: its
+  // shape depends on --threads, so it rides with the wall-clock fields.
+  if (opts.include_wall && !pool_metrics.empty()) {
+    io::Json pool = obs::registry_to_json(pool_metrics, opts);
+    const auto& timers = pool_metrics.timers();
+    const auto run_it = timers.find("pool.task_run");
+    const auto elapsed_it = timers.find("pool.elapsed");
+    const auto& gauges = pool_metrics.gauges();
+    const auto workers_it = gauges.find("pool.workers");
+    if (run_it != timers.end() && elapsed_it != timers.end() &&
+        workers_it != gauges.end() && elapsed_it->second->seconds() > 0.0 &&
+        workers_it->second->value() > 0.0)
+      pool.set("worker_utilization",
+               run_it->second->seconds() / (elapsed_it->second->seconds() *
+                                            workers_it->second->value()));
+    doc.set("pool", std::move(pool));
+  }
+  return doc;
+}
+
+/// Write the report to `path` ("-" = the command's stdout stream; a .csv
+/// suffix selects the flat CSV registry dump instead of the JSON report).
+void write_metrics_report(const std::string& path, const io::Json& report,
+                          const sim::NetworkResults& r,
+                          const obs::ReportOptions& opts, std::ostream& out) {
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::ofstream file;
+  std::ostream* os = &out;
+  if (path != "-") {
+    file.open(path);
+    if (!file)
+      throw std::invalid_argument("--metrics-out: cannot open " + path);
+    os = &file;
+  }
+  if (csv) {
+    obs::registry_to_csv(r.metrics, opts).write(*os);
+  } else {
+    report.write(*os, 2);
+    *os << '\n';
+  }
 }
 
 }  // namespace
@@ -61,18 +179,35 @@ int cmd_simulate(const ArgMap& args, std::ostream& out, std::ostream& err) {
   const unsigned replicates = args.get_unsigned("replicates", 1);
   const unsigned threads = args.get_unsigned("threads", 0);
 
+  const std::string metrics_out = args.get("metrics-out", "");
+  cfg.obs.enabled = obs::kEnabled && !metrics_out.empty();
+  cfg.obs.stride = args.get_unsigned("obs-stride", 64);
+  cfg.obs.trace_points = args.get_unsigned("obs-trace", 24);
+  obs::ReportOptions report_opts;
+  report_opts.include_wall = args.get_flag("obs-wall");
+
   const auto unknown = args.unused();
   if (!unknown.empty()) {
     err << "simulate: unknown option --" << unknown.front() << "\n";
     return 2;
   }
 
+  obs::Registry pool_metrics;
   sim::NetworkResults r;
   if (replicates > 1) {
     par::ThreadPool pool(threads);
+    if (cfg.obs.enabled) pool.attach_metrics(&pool_metrics);
+    obs::ScopedTimer elapsed(
+        cfg.obs.enabled ? &pool_metrics.timer("pool.elapsed") : nullptr);
     r = sim::replicate_network(cfg, replicates, pool);
   } else {
     r = sim::run_network(cfg);
+  }
+
+  if (!metrics_out.empty()) {
+    const io::Json report =
+        build_run_report(cfg, r, replicates, pool_metrics, report_opts);
+    write_metrics_report(metrics_out, report, r, report_opts, out);
   }
 
   switch (format) {

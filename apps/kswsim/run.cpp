@@ -24,6 +24,8 @@ commands:
              --topology=butterfly|omega --service=det:1 --cycles=50000
              --warmup=auto --seed=1 --replicates=1 --threads=0
              --buffer-capacity=0 --correlations --checkpoints=3,6,9,12
+             --metrics-out=FILE|- --obs-stride=64 --obs-trace=24
+             --obs-wall  (structured run report; see docs/OBSERVABILITY.md)
   calibrate  re-fit the Section IV interpolation constants
              --k=2 --rho=0.5 --stages=8 --cycles=100000 --seed=1
 

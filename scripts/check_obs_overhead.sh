@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Guard the observability layer's hot-path cost: run the perf_simulator
+# throughput probe with telemetry off and on (default sampling stride) and
+# fail if the enabled-mode throughput drops more than 10%.
+#
+#   scripts/check_obs_overhead.sh [build-dir] [repeats]
+#
+# Each mode runs `repeats` times (default 3) and the best cycles/sec is
+# compared, so scheduler noise biases both sides the same way.
+set -euo pipefail
+
+build_dir="${1:-build}"
+repeats="${2:-3}"
+bin="$build_dir/bench/perf_simulator"
+
+if [ ! -x "$bin" ]; then
+  echo "check_obs_overhead: $bin not found (build the bench targets first)" >&2
+  exit 2
+fi
+
+# Extract cycles_per_sec from the BENCH_perf.json line of one probe run.
+probe() {
+  "$bin" --perf-only "--obs=$1" |
+    sed -n 's/^BENCH_perf\.json .*"cycles_per_sec":\([0-9.eE+-]*\).*/\1/p'
+}
+
+best() {
+  local mode="$1" best=0 v
+  for _ in $(seq "$repeats"); do
+    v=$(probe "$mode")
+    if awk -v a="$v" -v b="$best" 'BEGIN { exit !(a > b) }'; then
+      best="$v"
+    fi
+  done
+  echo "$best"
+}
+
+off=$(best off)
+on=$(best on)
+
+ratio=$(awk -v on="$on" -v off="$off" 'BEGIN { printf "%.4f", on / off }')
+echo "obs overhead check: off=$off cycles/s, on=$on cycles/s, ratio=$ratio"
+
+if awk -v r="$ratio" 'BEGIN { exit !(r < 0.90) }'; then
+  echo "FAIL: telemetry-enabled throughput is below 90% of baseline" >&2
+  exit 1
+fi
+echo "OK: enabled-mode overhead within the 10% budget"

@@ -37,3 +37,6 @@ for b in "${benches[@]}"; do
   fi
   echo
 done
+
+echo "===== scripts/check_obs_overhead.sh ====="
+"$(dirname "$0")/check_obs_overhead.sh" "$build_dir"

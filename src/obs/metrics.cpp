@@ -1,0 +1,54 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ksw::obs {
+
+void Gauge::record_max(double v) noexcept {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(double lower, double width, std::size_t buckets)
+    : lower_(lower), width_(width), counts_(buckets, 0) {
+  if (!(width > 0.0))
+    throw std::invalid_argument("Histogram: width must be positive");
+  if (buckets == 0)
+    throw std::invalid_argument("Histogram: needs at least one bucket");
+}
+
+void Histogram::record(double v, std::uint64_t count) noexcept {
+  if (v < lower_) {
+    underflow_ += count;
+  } else {
+    const auto idx =
+        static_cast<std::size_t>(std::floor((v - lower_) / width_));
+    if (idx >= counts_.size())
+      overflow_ += count;
+    else
+      counts_[idx] += count;
+  }
+  total_ += count;
+  sum_ += v * static_cast<double>(count);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lower_ != other.lower_ || width_ != other.width_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument("Histogram::merge: bucket layout mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const noexcept {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+}  // namespace ksw::obs

@@ -1,0 +1,83 @@
+#include "obs/registry.hpp"
+
+#include <stdexcept>
+
+namespace ksw::obs {
+
+namespace {
+
+/// Deep-copy one metric map (each metric has a snapshot copy ctor).
+template <typename Map>
+void copy_map(Map& dst, const Map& src) {
+  dst.clear();
+  for (const auto& [name, metric] : src)
+    dst.emplace(name,
+                std::make_unique<typename Map::mapped_type::element_type>(
+                    *metric));
+}
+
+}  // namespace
+
+Registry::Registry(const Registry& other) { *this = other; }
+
+Registry& Registry::operator=(const Registry& other) {
+  if (this == &other) return *this;
+  copy_map(counters_, other.counters_);
+  copy_map(gauges_, other.gauges_);
+  copy_map(histograms_, other.histograms_);
+  copy_map(timers_, other.timers_);
+  return *this;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  auto it = timers_.find(name);
+  if (it == timers_.end())
+    it = timers_.emplace(name, std::make_unique<Timer>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name, double lower,
+                               double width, std::size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(lower, width, buckets))
+             .first;
+  } else if (it->second->lower() != lower || it->second->width() != width ||
+             it->second->bucket_count() != buckets) {
+    throw std::invalid_argument("Registry::histogram: '" + name +
+                                "' re-registered with a different layout");
+  }
+  return *it->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, metric] : other.counters_)
+    counter(name).merge(*metric);
+  for (const auto& [name, metric] : other.gauges_) gauge(name).merge(*metric);
+  for (const auto& [name, metric] : other.timers_) timer(name).merge(*metric);
+  for (const auto& [name, metric] : other.histograms_)
+    histogram(name, metric->lower(), metric->width(), metric->bucket_count())
+        .merge(*metric);
+}
+
+bool Registry::empty() const noexcept {
+  return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+         timers_.empty();
+}
+
+}  // namespace ksw::obs

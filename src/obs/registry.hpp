@@ -1,0 +1,67 @@
+// MetricsRegistry: a named collection of counters, gauges, histograms,
+// and timers.
+//
+// Usage pattern: register every metric up front (registration allocates
+// and is NOT thread-safe), cache the returned references, then update
+// through them on the hot path (updates are lock-free; histograms are
+// single-writer). Iteration is in name order — std::map — so reports and
+// merges are deterministic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ksw::obs {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(Registry&&) noexcept = default;
+  Registry& operator=(Registry&&) noexcept = default;
+  /// Deep snapshot copy (atomics are loaded relaxed).
+  Registry(const Registry& other);
+  Registry& operator=(const Registry& other);
+
+  /// Find-or-create. References stay valid for the registry's lifetime
+  /// (metrics are never removed).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+  /// Throws std::invalid_argument if `name` exists with a different
+  /// bucket layout.
+  Histogram& histogram(const std::string& name, double lower, double width,
+                       std::size_t buckets);
+
+  /// Add `other`'s metrics into this registry: counters/timers sum,
+  /// gauges keep the maximum, histograms add bucket-wise (layouts must
+  /// match). Metrics unknown to one side are adopted. Call in replicate
+  /// index order for bit-reproducible aggregates.
+  void merge(const Registry& other);
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  // Name-ordered views for report emitters.
+  using CounterMap = std::map<std::string, std::unique_ptr<Counter>>;
+  using GaugeMap = std::map<std::string, std::unique_ptr<Gauge>>;
+  using HistogramMap = std::map<std::string, std::unique_ptr<Histogram>>;
+  using TimerMap = std::map<std::string, std::unique_ptr<Timer>>;
+  [[nodiscard]] const CounterMap& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const GaugeMap& gauges() const noexcept { return gauges_; }
+  [[nodiscard]] const HistogramMap& histograms() const noexcept {
+    return histograms_;
+  }
+  [[nodiscard]] const TimerMap& timers() const noexcept { return timers_; }
+
+ private:
+  CounterMap counters_;
+  GaugeMap gauges_;
+  HistogramMap histograms_;
+  TimerMap timers_;
+};
+
+}  // namespace ksw::obs

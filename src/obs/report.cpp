@@ -1,0 +1,121 @@
+#include "obs/report.hpp"
+
+namespace ksw::obs {
+
+namespace {
+
+io::Json histogram_to_json(const Histogram& h) {
+  io::Json j = io::Json::object();
+  j.set("lower", h.lower());
+  j.set("width", h.width());
+  io::Json counts = io::Json::array();
+  for (std::size_t i = 0; i < h.bucket_count(); ++i)
+    counts.push_back(static_cast<std::uint64_t>(h.bucket(i)));
+  j.set("counts", std::move(counts));
+  j.set("underflow", h.underflow());
+  j.set("overflow", h.overflow());
+  j.set("total", h.total());
+  j.set("sum", h.sum());
+  j.set("mean", h.mean());
+  return j;
+}
+
+}  // namespace
+
+io::Json registry_to_json(const Registry& registry,
+                          const ReportOptions& opts) {
+  io::Json doc = io::Json::object();
+
+  io::Json counters = io::Json::object();
+  for (const auto& [name, metric] : registry.counters())
+    counters.set(name, metric->value());
+  doc.set("counters", std::move(counters));
+
+  io::Json gauges = io::Json::object();
+  for (const auto& [name, metric] : registry.gauges())
+    gauges.set(name, metric->value());
+  doc.set("gauges", std::move(gauges));
+
+  io::Json histograms = io::Json::object();
+  for (const auto& [name, metric] : registry.histograms())
+    histograms.set(name, histogram_to_json(*metric));
+  doc.set("histograms", std::move(histograms));
+
+  io::Json timers = io::Json::object();
+  for (const auto& [name, metric] : registry.timers()) {
+    io::Json t = io::Json::object();
+    t.set("calls", metric->calls());
+    if (opts.include_wall) t.set("wall_s", metric->seconds());
+    timers.set(name, std::move(t));
+  }
+  doc.set("timers", std::move(timers));
+
+  return doc;
+}
+
+io::CsvWriter registry_to_csv(const Registry& registry,
+                              const ReportOptions& opts) {
+  io::CsvWriter csv({"name", "kind", "field", "value"});
+  for (const auto& [name, metric] : registry.counters())
+    csv.begin_row().add(name).add("counter").add("value").add(
+        metric->value());
+  for (const auto& [name, metric] : registry.gauges())
+    csv.begin_row().add(name).add("gauge").add("value").add(metric->value());
+  for (const auto& [name, metric] : registry.histograms()) {
+    csv.begin_row().add(name).add("histogram").add("lower").add(
+        metric->lower());
+    csv.begin_row().add(name).add("histogram").add("width").add(
+        metric->width());
+    for (std::size_t i = 0; i < metric->bucket_count(); ++i)
+      csv.begin_row()
+          .add(name)
+          .add("histogram")
+          .add("bucket" + std::to_string(i))
+          .add(metric->bucket(i));
+    csv.begin_row().add(name).add("histogram").add("underflow").add(
+        metric->underflow());
+    csv.begin_row().add(name).add("histogram").add("overflow").add(
+        metric->overflow());
+    csv.begin_row().add(name).add("histogram").add("total").add(
+        metric->total());
+    csv.begin_row().add(name).add("histogram").add("mean").add(
+        metric->mean());
+  }
+  for (const auto& [name, metric] : registry.timers()) {
+    csv.begin_row().add(name).add("timer").add("calls").add(metric->calls());
+    if (opts.include_wall)
+      csv.begin_row().add(name).add("timer").add("wall_s").add(
+          metric->seconds());
+  }
+  return csv;
+}
+
+io::Json trace_to_json(const ConvergenceTrace& trace,
+                       const std::vector<double>& predicted_stage_mean,
+                       std::optional<double> predicted_limit) {
+  io::Json doc = io::Json::object();
+  io::Json points = io::Json::array();
+  for (std::size_t p = 0; p < trace.points(); ++p) {
+    io::Json point = io::Json::object();
+    point.set("cycle", static_cast<std::int64_t>(trace.cycles[p]));
+    io::Json means = io::Json::array();
+    io::Json samples = io::Json::array();
+    for (std::size_t s = 0; s < trace.wait_sum[p].size(); ++s) {
+      means.push_back(trace.mean(p, s));
+      samples.push_back(static_cast<std::uint64_t>(trace.wait_count[p][s]));
+    }
+    point.set("mean_wait", std::move(means));
+    point.set("samples", std::move(samples));
+    points.push_back(std::move(point));
+  }
+  doc.set("points", std::move(points));
+  if (!predicted_stage_mean.empty()) {
+    io::Json pred = io::Json::array();
+    for (double w : predicted_stage_mean) pred.push_back(w);
+    doc.set("predicted_stage_mean", std::move(pred));
+  }
+  if (predicted_limit) doc.set("predicted_limit", *predicted_limit);
+  return doc;
+}
+
+}  // namespace ksw::obs

@@ -1,0 +1,43 @@
+// Structured run-report emitter: serializes a MetricsRegistry (and a
+// warmup-convergence trace) to JSON or CSV through the io/ layer.
+//
+// Determinism contract: with include_wall = false the emitted bytes are a
+// pure function of the simulated events, so reports from the same seed
+// are bit-identical regardless of thread count. Wall-clock durations
+// (timer wall_s) are the only nondeterministic fields.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace ksw::obs {
+
+struct ReportOptions {
+  /// Include wall-clock timer durations (nondeterministic across runs).
+  bool include_wall = true;
+};
+
+/// Registry as a JSON object with "counters", "gauges", "histograms",
+/// and "timers" sections (always present, possibly empty; name-ordered).
+[[nodiscard]] io::Json registry_to_json(const Registry& registry,
+                                        const ReportOptions& opts = {});
+
+/// Flat CSV view: one row per (metric, field) with columns
+/// name,kind,field,value.
+[[nodiscard]] io::CsvWriter registry_to_csv(const Registry& registry,
+                                            const ReportOptions& opts = {});
+
+/// Convergence trace as JSON: per-checkpoint cumulative per-stage mean
+/// waits plus, when supplied, the eq. 12 per-stage predictions and the
+/// eq. 11 limit to compare against.
+[[nodiscard]] io::Json trace_to_json(
+    const ConvergenceTrace& trace,
+    const std::vector<double>& predicted_stage_mean = {},
+    std::optional<double> predicted_limit = std::nullopt);
+
+}  // namespace ksw::obs

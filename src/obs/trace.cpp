@@ -1,0 +1,30 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+namespace ksw::obs {
+
+double ConvergenceTrace::mean(std::size_t point, std::size_t stage) const {
+  const std::uint64_t count = wait_count.at(point).at(stage);
+  return count == 0
+             ? 0.0
+             : wait_sum[point][stage] / static_cast<double>(count);
+}
+
+void ConvergenceTrace::merge(const ConvergenceTrace& other) {
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  if (other.empty()) return;
+  if (cycles != other.cycles || stages() != other.stages())
+    throw std::invalid_argument(
+        "ConvergenceTrace::merge: checkpoint grid mismatch");
+  for (std::size_t p = 0; p < points(); ++p)
+    for (std::size_t s = 0; s < wait_sum[p].size(); ++s) {
+      wait_sum[p][s] += other.wait_sum[p][s];
+      wait_count[p][s] += other.wait_count[p][s];
+    }
+}
+
+}  // namespace ksw::obs

@@ -1,0 +1,39 @@
+// Warmup-convergence trace: cumulative per-stage waiting-time means
+// sampled at a fixed grid of checkpoint cycles over a simulation run
+// (warmup included). Comparing the trace against the paper's eq. 12
+// prediction w_i = (1 + (4/5)(rho/k)(1 - a^{i-1})) w1 with a = 2/5 makes
+// drift from the Section IV spatial-steady-state conjecture directly
+// observable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ksw::obs {
+
+struct ConvergenceTrace {
+  /// Checkpoint positions: number of cycles completed at each sample.
+  std::vector<std::int64_t> cycles;
+  /// wait_sum[point][stage]: cumulative waiting-time sum (in cycles) over
+  /// every service start at that stage since cycle 0, warmup included.
+  std::vector<std::vector<double>> wait_sum;
+  /// wait_count[point][stage]: number of service starts behind wait_sum.
+  std::vector<std::vector<std::uint64_t>> wait_count;
+
+  [[nodiscard]] bool empty() const noexcept { return cycles.empty(); }
+  [[nodiscard]] std::size_t points() const noexcept { return cycles.size(); }
+  [[nodiscard]] std::size_t stages() const noexcept {
+    return wait_sum.empty() ? 0 : wait_sum.front().size();
+  }
+
+  /// Cumulative mean wait at `stage` as of checkpoint `point`; 0 before
+  /// the first observation.
+  [[nodiscard]] double mean(std::size_t point, std::size_t stage) const;
+
+  /// Point-wise accumulation of a replicate run on the same checkpoint
+  /// grid; throws std::invalid_argument on shape mismatch. Call in
+  /// replicate index order for bit-reproducible traces.
+  void merge(const ConvergenceTrace& other);
+};
+
+}  // namespace ksw::obs

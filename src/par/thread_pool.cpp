@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace ksw::par {
 
@@ -25,7 +29,36 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::attach_metrics(obs::Registry* registry) {
+  if constexpr (!obs::kEnabled) {
+    (void)registry;
+    return;
+  }
+  if (registry == nullptr) {
+    wait_timer_ = nullptr;
+    run_timer_ = nullptr;
+    task_counter_ = nullptr;
+    return;
+  }
+  registry->gauge("pool.workers")
+      .record_max(static_cast<double>(workers_.size()));
+  wait_timer_ = &registry->timer("pool.task_wait");
+  run_timer_ = &registry->timer("pool.task_run");
+  task_counter_ = &registry->counter("pool.tasks");
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  if constexpr (obs::kEnabled) {
+    if (task_counter_ != nullptr) {
+      task_counter_->inc();
+      task = [this, enqueued = std::chrono::steady_clock::now(),
+              inner = std::move(task)] {
+        wait_timer_->add(std::chrono::steady_clock::now() - enqueued);
+        obs::ScopedTimer run(*run_timer_);
+        inner();
+      };
+    }
+  }
   {
     std::lock_guard lock(mu_);
     tasks_.push(std::move(task));

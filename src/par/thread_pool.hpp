@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace ksw::par {
 
 /// Fixed pool of worker threads executing submitted tasks FIFO.
@@ -37,8 +39,20 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait_idle();
 
+  /// Attach a metrics registry; subsequent tasks record queue wait time
+  /// ("pool.task_wait"), execution time ("pool.task_run"), a task counter
+  /// ("pool.tasks"), and a "pool.workers" gauge. Pass nullptr to detach.
+  /// Call only while the pool is idle; the registry must outlive the last
+  /// task submitted while attached. No-op when observability is compiled
+  /// out (KSW_OBS_ENABLED=0).
+  void attach_metrics(obs::Registry* registry);
+
  private:
   void worker_loop();
+
+  obs::Timer* wait_timer_ = nullptr;
+  obs::Timer* run_timer_ = nullptr;
+  obs::Counter* task_counter_ = nullptr;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "rng/xoshiro.hpp"
 #include "sim/ring_queue.hpp"
 #include "sim/topology.hpp"
@@ -39,7 +42,41 @@ void validate(const NetworkConfig& cfg) {
     if (c == 0 || c > cfg.stages)
       throw std::invalid_argument(
           "run_network: total checkpoint outside [1, stages]");
+  if (cfg.obs.enabled && cfg.obs.occupancy_buckets == 0)
+    throw std::invalid_argument(
+        "run_network: obs.occupancy_buckets must be >= 1");
 }
+
+/// "sim.stageNN.<what>" — stages are 1-based and zero-padded so the
+/// registry's name order matches stage order.
+std::string stage_metric(unsigned stage, const char* what) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "sim.stage%02u.%s", stage, what);
+  return buf;
+}
+
+/// Cached per-stage metric handles so the hot loop never touches the
+/// registry's map.
+struct StageObs {
+  obs::Histogram* occupancy = nullptr;
+  obs::Gauge* peak = nullptr;
+  obs::Counter* starts = nullptr;
+  obs::Counter* idle = nullptr;
+  obs::Counter* busy = nullptr;
+  obs::Counter* blocked = nullptr;
+};
+
+/// Per-stage event tallies kept in plain (non-atomic) locals during the
+/// cycle loop — the replicate is single-threaded, so deferring the atomic
+/// registry updates to one flush after the run keeps the per-event cost to
+/// an ordinary increment. Flushed into StageObs by run_network.
+struct StageTally {
+  std::uint64_t starts = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t blocked = 0;
+  std::size_t peak = 0;
+};
 
 }  // namespace
 
@@ -61,6 +98,8 @@ void NetworkResults::merge(const NetworkResults& other) {
   packets_injected += other.packets_injected;
   packets_delivered += other.packets_delivered;
   packets_dropped += other.packets_dropped;
+  metrics.merge(other.metrics);
+  convergence.merge(other.convergence);
 }
 
 NetworkResults run_network(const NetworkConfig& cfg) {
@@ -95,7 +134,49 @@ NetworkResults run_network(const NetworkConfig& cfg) {
   constexpr std::int64_t kDepthSampleStride = 64;
   const bool finite = cfg.buffer_capacity > 0;
 
-  for (std::int64_t t = 0; t < total_cycles; ++t) {
+  // --- Telemetry setup (all dead code when compiled out) -----------------
+  const bool obs_on = obs::kEnabled && cfg.obs.enabled;
+  std::vector<StageObs> sobs;
+  std::vector<StageTally> tally(obs_on ? n : 0);
+  obs::Counter* dropped0 = nullptr;
+  if (obs_on) {
+    sobs.resize(n);
+    for (unsigned s = 0; s < n; ++s) {
+      const unsigned label = s + 1;
+      sobs[s].occupancy =
+          &out.metrics.histogram(stage_metric(label, "occupancy"), 0.0, 1.0,
+                                 cfg.obs.occupancy_buckets);
+      sobs[s].peak = &out.metrics.gauge(stage_metric(label, "peak_depth"));
+      sobs[s].starts =
+          &out.metrics.counter(stage_metric(label, "service_starts"));
+      sobs[s].idle =
+          &out.metrics.counter(stage_metric(label, "idle_samples"));
+      sobs[s].busy =
+          &out.metrics.counter(stage_metric(label, "busy_samples"));
+      sobs[s].blocked =
+          &out.metrics.counter(stage_metric(label, "blocked_transfers"));
+    }
+    dropped0 = &out.metrics.counter(stage_metric(1, "dropped"));
+  }
+
+  // Warmup-convergence trace: cumulative per-stage wait sums (warmup
+  // included) snapshotted on an even grid over the whole run.
+  std::vector<std::int64_t> conv_grid;
+  if (obs_on && cfg.obs.trace_points > 0 && total_cycles > 0)
+    for (unsigned j = 1; j <= cfg.obs.trace_points; ++j) {
+      const std::int64_t c =
+          total_cycles * static_cast<std::int64_t>(j) /
+          static_cast<std::int64_t>(cfg.obs.trace_points);
+      if (c > 0 && (conv_grid.empty() || c > conv_grid.back()))
+        conv_grid.push_back(c);
+    }
+  const bool trace_on = !conv_grid.empty();
+  std::vector<double> conv_sum(trace_on ? n : 0, 0.0);
+  std::vector<std::uint64_t> conv_cnt(trace_on ? n : 0, 0);
+  std::size_t next_cp = 0;
+
+  // One simulated cycle; called with strictly increasing t.
+  const auto step = [&](const std::int64_t t) {
     // --- Injection at the first stage ------------------------------------
     for (std::uint32_t src = 0; src < ports; ++src) {
       if (!gen.bernoulli(cfg.p)) continue;
@@ -118,6 +199,8 @@ NetworkResults run_network(const NetworkConfig& cfg) {
         pkt.arrival = t;
         pkt.born = t;
         queues[0][addr0].push(pkt);
+        if (obs_on)
+          tally[0].peak = std::max(tally[0].peak, queues[0][addr0].size());
         if (t >= cfg.warmup_cycles) ++out.packets_injected;
       }
     }
@@ -138,11 +221,19 @@ NetworkResults run_network(const NetworkConfig& cfg) {
           next_addr = topo.next_queue(s, a, head.dst);
           // Finite buffers: block upstream service on a full downstream
           // queue (backpressure).
-          if (finite && queues[s + 1][next_addr].size() >= cfg.buffer_capacity)
+          if (finite &&
+              queues[s + 1][next_addr].size() >= cfg.buffer_capacity) {
+            if (obs_on && t >= cfg.warmup_cycles) ++tally[s].blocked;
             continue;
+          }
         }
 
         const std::int64_t w = t - head.arrival;
+        if (trace_on) {
+          conv_sum[s] += static_cast<double>(w);
+          ++conv_cnt[s];
+        }
+        if (obs_on && t >= cfg.warmup_cycles) ++tally[s].starts;
         const bool measured = head.born >= cfg.warmup_cycles;
         if (measured) {
           out.stage_wait[s].add(static_cast<double>(w));
@@ -161,6 +252,9 @@ NetworkResults run_network(const NetworkConfig& cfg) {
           moved.arrival = t + 1;
           queue.pop();
           queues[s + 1][next_addr].push(moved);
+          if (obs_on)
+            tally[s + 1].peak =
+                std::max(tally[s + 1].peak, queues[s + 1][next_addr].size());
         } else {
           if (measured) {
             ++out.packets_delivered;
@@ -186,6 +280,67 @@ NetworkResults run_network(const NetworkConfig& cfg) {
           while (present > 0 && queue.at(present - 1).arrival > t) --present;
           out.stage_depth[s].add(static_cast<double>(present));
         }
+
+    // --- Telemetry sampling (occupancy histograms, server utilization) ---
+    if (obs_on && cfg.obs.stride != 0 && t >= cfg.warmup_cycles &&
+        t % static_cast<std::int64_t>(cfg.obs.stride) == 0)
+      for (unsigned s = 0; s < n; ++s) {
+        StageObs& so = sobs[s];
+        for (std::uint32_t a = 0; a < ports; ++a) {
+          const auto& queue = queues[s][a];
+          std::size_t present = queue.size();
+          while (present > 0 && queue.at(present - 1).arrival > t) --present;
+          so.occupancy->record(static_cast<double>(present));
+          if (busy_until[s][a] > t)
+            ++tally[s].busy;
+          else
+            ++tally[s].idle;
+        }
+      }
+
+    // --- Convergence checkpoint ------------------------------------------
+    if (trace_on && next_cp < conv_grid.size() &&
+        t + 1 == conv_grid[next_cp]) {
+      out.convergence.cycles.push_back(t + 1);
+      out.convergence.wait_sum.push_back(conv_sum);
+      out.convergence.wait_count.push_back(conv_cnt);
+      ++next_cp;
+    }
+  };
+
+  // --- Phased main loop: warmup then measurement, each timed -------------
+  const std::int64_t warmup_end =
+      std::clamp<std::int64_t>(cfg.warmup_cycles, 0, total_cycles);
+  {
+    obs::ScopedTimer timer(
+        obs_on ? &out.metrics.timer("sim.phase.warmup") : nullptr);
+    for (std::int64_t t = 0; t < warmup_end; ++t) step(t);
+  }
+  {
+    obs::ScopedTimer timer(
+        obs_on ? &out.metrics.timer("sim.phase.measure") : nullptr);
+    for (std::int64_t t = warmup_end; t < total_cycles; ++t) step(t);
+  }
+
+  if (obs_on) {
+    for (unsigned s = 0; s < n; ++s) {
+      sobs[s].starts->inc(tally[s].starts);
+      sobs[s].idle->inc(tally[s].idle);
+      sobs[s].busy->inc(tally[s].busy);
+      sobs[s].blocked->inc(tally[s].blocked);
+      sobs[s].peak->record_max(static_cast<double>(tally[s].peak));
+    }
+    // Drops only ever happen at first-stage injection, so the per-stage
+    // counter equals the run total.
+    dropped0->inc(out.packets_dropped);
+    out.metrics.counter("sim.cycles.warmup")
+        .inc(static_cast<std::uint64_t>(warmup_end));
+    out.metrics.counter("sim.cycles.measure")
+        .inc(static_cast<std::uint64_t>(total_cycles - warmup_end));
+    out.metrics.counter("sim.replicates").inc(1);
+    out.metrics.counter("sim.packets.injected").inc(out.packets_injected);
+    out.metrics.counter("sim.packets.delivered").inc(out.packets_delivered);
+    out.metrics.counter("sim.packets.dropped").inc(out.packets_dropped);
   }
   return out;
 }

@@ -27,6 +27,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/service_spec.hpp"
 #include "sim/topology.hpp"
 #include "stats/accumulator.hpp"
@@ -38,6 +40,27 @@ namespace ksw::sim {
 /// Maximum stages for which per-packet stage waits can be tracked (used by
 /// correlation collection).
 inline constexpr unsigned kMaxTrackedStages = 16;
+
+/// Telemetry knobs for run_network. Everything here is additive: results
+/// used by the paper-reproduction paths are untouched whether or not
+/// telemetry is on, and the whole block is dead code when observability
+/// is compiled out (KSW_OBS_ENABLED=0).
+struct ObsConfig {
+  /// Collect per-stage telemetry (occupancy histograms, peak depth,
+  /// service starts, drops/blocks) and phase timers into
+  /// NetworkResults::metrics.
+  bool enabled = false;
+  /// Cycle stride for occupancy/utilization sampling; 0 disables periodic
+  /// sampling but keeps event counters. Stride 64 keeps the enabled-mode
+  /// overhead under ~5% (see scripts/check_obs_overhead.sh).
+  unsigned stride = 64;
+  /// Number of warmup-convergence checkpoints spread evenly over the whole
+  /// run (warmup + measurement); 0 disables the trace.
+  unsigned trace_points = 24;
+  /// Fixed occupancy-histogram range: buckets 0,1,...,occupancy_buckets-1
+  /// waiting packets, deeper queues land in the overflow bucket.
+  unsigned occupancy_buckets = 64;
+};
 
 struct NetworkConfig {
   unsigned k = 2;       ///< switch degree; network has k^stages ports
@@ -80,6 +103,9 @@ struct NetworkConfig {
   /// each c listed here (Tables VII-XII / Figs. 3-8 use {3,6,9,12}).
   std::vector<unsigned> total_checkpoints;
 
+  /// Observability/telemetry settings (off by default).
+  ObsConfig obs;
+
   /// Traffic intensity rho = p * bulk * mean service.
   [[nodiscard]] double rho() const {
     return p * static_cast<double>(bulk) * service.mean();
@@ -102,6 +128,15 @@ struct NetworkResults {
   std::uint64_t packets_injected = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_dropped = 0;  ///< finite buffers only
+
+  /// Telemetry registry (populated only when NetworkConfig::obs.enabled):
+  /// per-stage "sim.stageNN.*" occupancy histograms, peak depths, service
+  /// starts, idle/busy samples, drop/block counters, plus "sim.phase.*"
+  /// timers and cycle counters. Merged deterministically in replicate
+  /// index order; only timer wall-clock durations are nondeterministic.
+  obs::Registry metrics;
+  /// Warmup-convergence trace (when obs.enabled and obs.trace_points > 0).
+  obs::ConvergenceTrace convergence;
 
   void merge(const NetworkResults& other);
 };

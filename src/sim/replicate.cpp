@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "rng/xoshiro.hpp"
 
 namespace ksw::sim {
@@ -18,6 +19,7 @@ NetworkResults replicate_network(const NetworkConfig& base,
                                  unsigned replicates, par::ThreadPool& pool) {
   if (replicates == 0)
     throw std::invalid_argument("replicate_network: replicates == 0");
+  const bool obs_on = obs::kEnabled && base.obs.enabled;
   std::vector<NetworkResults> parts(replicates);
   par::parallel_for(pool, replicates, [&](std::size_t i) {
     NetworkConfig cfg = base;
@@ -25,7 +27,14 @@ NetworkResults replicate_network(const NetworkConfig& base,
     parts[i] = run_network(cfg);
   });
   NetworkResults merged = std::move(parts[0]);
-  for (unsigned i = 1; i < replicates; ++i) merged.merge(parts[i]);
+  {
+    // Index-order merge keeps every aggregate bit-identical for a fixed
+    // seed regardless of thread count; the timer makes the reduction cost
+    // visible in run reports.
+    obs::ScopedTimer timer(
+        obs_on ? &merged.metrics.timer("sim.phase.merge") : nullptr);
+    for (unsigned i = 1; i < replicates; ++i) merged.merge(parts[i]);
+  }
   return merged;
 }
 

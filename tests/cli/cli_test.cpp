@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace ksw::cli {
 namespace {
 
@@ -197,6 +199,63 @@ TEST(Simulate, ReplicatesAreDeterministic) {
   const auto b = invoke(args);
   EXPECT_EQ(a.code, 0);
   EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Simulate, RejectsDuplicateCheckpoints) {
+  const auto r = invoke({"simulate", "--stages=3", "--cycles=1000",
+                         "--checkpoints=3,3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("strictly increasing"), std::string::npos);
+}
+
+TEST(Simulate, RejectsUnsortedCheckpoints) {
+  const auto r = invoke({"simulate", "--stages=3", "--cycles=1000",
+                         "--checkpoints=6,3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("strictly increasing"), std::string::npos);
+}
+
+TEST(Simulate, MetricsReportOnStdout) {
+  if constexpr (!obs::kEnabled)
+    GTEST_SKIP() << "observability compiled out";
+  const auto r = invoke({"simulate", "--stages=3", "--cycles=1500",
+                         "--format=csv", "--metrics-out=-"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("\"schema\": \"ksw.obs.report/v1\""),
+            std::string::npos);
+  EXPECT_NE(r.out.find("sim.stage01.occupancy"), std::string::npos);
+  EXPECT_NE(r.out.find("sim.stage01.dropped"), std::string::npos);
+  EXPECT_NE(r.out.find("\"convergence\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"predicted_stage_mean\""), std::string::npos);
+  EXPECT_NE(r.out.find("sim.phase.warmup"), std::string::npos);
+  // Deterministic by default: no wall-clock fields, no pool section.
+  EXPECT_EQ(r.out.find("wall_s"), std::string::npos);
+  EXPECT_EQ(r.out.find("\"pool\""), std::string::npos);
+}
+
+TEST(Simulate, MetricsReportIdenticalAcrossThreadCounts) {
+  const auto run = [](const char* threads) {
+    return invoke({"simulate", "--stages=3", "--cycles=1500",
+                   "--replicates=3", std::string("--threads=") + threads,
+                   "--seed=7", "--format=csv", "--metrics-out=-"});
+  };
+  const auto a = run("1");
+  const auto b = run("8");
+  EXPECT_EQ(a.code, 0);
+  EXPECT_EQ(b.code, 0);
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Simulate, ObsWallOptsIntoPoolTelemetry) {
+  if constexpr (!obs::kEnabled)
+    GTEST_SKIP() << "observability compiled out";
+  const auto r = invoke({"simulate", "--stages=3", "--cycles=1000",
+                         "--replicates=2", "--threads=2", "--format=csv",
+                         "--metrics-out=-", "--obs-wall"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("wall_s"), std::string::npos);
+  EXPECT_NE(r.out.find("\"pool\""), std::string::npos);
+  EXPECT_NE(r.out.find("pool.tasks"), std::string::npos);
 }
 
 TEST(Simulate, HotspotSkewsLastStage) {

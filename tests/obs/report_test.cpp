@@ -1,0 +1,117 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+#ifndef KSW_OBS_TEST_DATA_DIR
+#error "KSW_OBS_TEST_DATA_DIR must point at tests/obs"
+#endif
+
+namespace ksw::obs {
+namespace {
+
+// A small registry with one metric of every kind and known values.
+Registry demo_registry() {
+  Registry reg;
+  reg.counter("demo.count").inc(3);
+  reg.gauge("demo.peak").record_max(4.5);
+  Histogram& h = reg.histogram("demo.occupancy", 0.0, 1.0, 4);
+  h.record(0.0);
+  h.record(1.5);
+  h.record(9.0);   // overflow
+  h.record(-1.0);  // underflow
+  reg.timer("demo.phase").add(std::chrono::nanoseconds(1'500'000));
+  return reg;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Report, GoldenJson) {
+  ReportOptions opts;
+  opts.include_wall = false;
+  const std::string actual =
+      registry_to_json(demo_registry(), opts).to_string(2) + "\n";
+  const std::string golden =
+      read_file(std::string(KSW_OBS_TEST_DATA_DIR) + "/golden_report.json");
+  EXPECT_EQ(actual, golden);
+}
+
+TEST(Report, EmptyRegistryStillHasAllSections) {
+  const Registry reg;
+  const std::string json = registry_to_json(reg).to_string(0);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+}
+
+TEST(Report, WallFieldsAreOptIn) {
+  const Registry reg = demo_registry();
+  ReportOptions opts;
+  opts.include_wall = false;
+  const std::string without = registry_to_json(reg, opts).to_string(0);
+  EXPECT_EQ(without.find("wall_s"), std::string::npos);
+  opts.include_wall = true;
+  const std::string with = registry_to_json(reg, opts).to_string(0);
+  EXPECT_NE(with.find("wall_s"), std::string::npos);
+  EXPECT_NE(with.find("0.0015"), std::string::npos);  // 1.5 ms
+}
+
+TEST(Report, CsvRowsCoverEveryMetricField) {
+  ReportOptions opts;
+  opts.include_wall = false;
+  std::ostringstream out;
+  registry_to_csv(demo_registry(), opts).write(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("name,kind,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("demo.count,counter,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("demo.peak,gauge,value,4.5"), std::string::npos);
+  EXPECT_NE(csv.find("demo.occupancy,histogram,underflow,1"),
+            std::string::npos);
+  EXPECT_NE(csv.find("demo.occupancy,histogram,mean,2.375"),
+            std::string::npos);
+  EXPECT_NE(csv.find("demo.phase,timer,calls,1"), std::string::npos);
+  EXPECT_EQ(csv.find("wall_s"), std::string::npos);
+}
+
+TEST(Report, TraceJsonCarriesPredictions) {
+  ConvergenceTrace trace;
+  trace.cycles = {100, 200};
+  trace.wait_sum = {{10.0, 20.0}, {30.0, 60.0}};
+  trace.wait_count = {{100, 100}, {200, 200}};
+  const io::Json json = trace_to_json(trace, {0.25, 0.28}, 0.3);
+  const std::string s = json.to_string(0);
+  EXPECT_NE(s.find("\"points\""), std::string::npos);
+  EXPECT_NE(s.find("\"predicted_stage_mean\""), std::string::npos);
+  EXPECT_NE(s.find("\"predicted_limit\""), std::string::npos);
+  EXPECT_NE(s.find("0.3"), std::string::npos);
+  // Cumulative means: 30/200 = 0.15 at stage 0, 60/200 = 0.3 at stage 1.
+  EXPECT_NE(s.find("0.15"), std::string::npos);
+}
+
+TEST(Report, TraceJsonWithoutPredictionsOmitsThem) {
+  ConvergenceTrace trace;
+  trace.cycles = {50};
+  trace.wait_sum = {{5.0}};
+  trace.wait_count = {{10}};
+  const std::string s = trace_to_json(trace).to_string(0);
+  EXPECT_EQ(s.find("predicted_stage_mean"), std::string::npos);
+  EXPECT_EQ(s.find("predicted_limit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ksw::obs

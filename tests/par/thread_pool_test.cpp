@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace ksw::par {
 namespace {
 
@@ -72,6 +74,32 @@ TEST(ParallelMap, CollectsInIndexOrder) {
       pool, 256, [](std::size_t i) { return i * i; });
   ASSERT_EQ(out.size(), 256u);
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, AttachMetricsRecordsTaskTelemetry) {
+  obs::Registry reg;
+  ThreadPool pool(2);
+  pool.attach_metrics(&reg);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("pool.tasks").value(), 20u);
+    EXPECT_DOUBLE_EQ(reg.gauge("pool.workers").value(), 2.0);
+    EXPECT_EQ(reg.timer("pool.task_run").calls(), 20u);
+    EXPECT_EQ(reg.timer("pool.task_wait").calls(), 20u);
+  } else {
+    EXPECT_TRUE(reg.empty());
+  }
+  // Detach: later tasks leave the registry untouched.
+  pool.attach_metrics(nullptr);
+  pool.submit([] {});
+  pool.wait_idle();
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("pool.tasks").value(), 20u);
+  }
 }
 
 TEST(ParallelFor, ReusablePoolAcrossCalls) {
