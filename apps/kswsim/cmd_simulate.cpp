@@ -1,7 +1,8 @@
 // kswsim simulate — cycle-accurate banyan network simulation.
 //
 //   kswsim simulate --k=2 --stages=8 --p=0.5 [--bulk=B] [--q=Q]
-//                   [--hotspot=H] [--service=det:1] [--cycles=N]
+//                   [--hotspot=H] [--hotspot-target=PORT]
+//                   [--service=det:1] [--cycles=N]
 //                   [--warmup=N] [--seed=N] [--replicates=R] [--threads=T]
 //                   [--buffer-capacity=C] [--correlations]
 //                   [--checkpoints=3,6,9,12] [--format=table|json|csv]
@@ -91,6 +92,7 @@ io::Json build_run_report(const sim::NetworkConfig& cfg,
   config.set("bulk", static_cast<std::int64_t>(cfg.bulk));
   config.set("q", cfg.q);
   config.set("hotspot", cfg.hotspot);
+  config.set("hotspot_target", static_cast<std::int64_t>(cfg.hotspot_target));
   config.set("service_mean", cfg.service.mean());
   config.set("rho", cfg.rho());
   config.set("buffer_capacity", static_cast<std::int64_t>(cfg.buffer_capacity));

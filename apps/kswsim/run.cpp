@@ -21,6 +21,7 @@ commands:
              --quantiles=0.5,0.9,0.99
   simulate   cycle-accurate banyan network simulation
              --k=2 --stages=8 --p=0.5 --bulk=1 --q=0 --hotspot=0
+             --hotspot-target=0  (must be a valid output port)
              --topology=butterfly|omega --service=det:1 --cycles=50000
              --warmup=auto --seed=1 --replicates=1 --threads=0
              --buffer-capacity=0 --correlations --checkpoints=3,6,9,12

@@ -2,10 +2,12 @@
 // kernels and the cycle-accurate simulator.
 //
 // Custom main: before the google-benchmark suite, a fixed simulator
-// throughput probe (k=2, stages=8, p=0.5) runs and prints cycles/sec and
+// throughput probe (k=2, stages=8, p=0.5) runs, followed by a load sweep
+// (k=4, stages=6, rho in {0.5, 0.8, 0.95}) covering the regimes the
+// active-set scheduler cares about. Each probe prints cycles/sec and
 // packets/sec plus one machine-readable line prefixed "BENCH_perf.json".
 // Flags (consumed before benchmark::Initialize):
-//   --perf-only    run only the throughput probe, skip the BM_ suite
+//   --perf-only    run only the throughput probes, skip the BM_ suite
 //   --obs=on|off   probe with observability sampling enabled (default off);
 //                  scripts/check_obs_overhead.sh compares the two modes.
 #include <benchmark/benchmark.h>
@@ -94,7 +96,9 @@ void BM_NetworkSimCyclesPerSecond(benchmark::State& state) {
 BENCHMARK(BM_NetworkSimCyclesPerSecond)->Arg(6)->Arg(8)->Arg(10);
 
 // ---------------------------------------------------------------------------
-// Throughput probe (the acceptance workload: k=2, stages=8, p=0.5)
+// Throughput probes: the legacy acceptance workload (k=2, stages=8, p=0.5)
+// plus a rho sweep at k=4, stages=6 — the gate workload for the flat-pool
+// engine is rho=0.8 there.
 // ---------------------------------------------------------------------------
 
 struct ProbeResult {
@@ -105,14 +109,7 @@ struct ProbeResult {
   std::uint64_t packets = 0;    // packets delivered in the best run
 };
 
-ProbeResult run_probe(bool obs_enabled, int repeats) {
-  ksw::sim::NetworkConfig cfg;
-  cfg.k = 2;
-  cfg.stages = 8;
-  cfg.p = 0.5;
-  cfg.warmup_cycles = 1'000;
-  cfg.measure_cycles = 20'000;
-  cfg.obs.enabled = obs_enabled;
+ProbeResult run_probe(ksw::sim::NetworkConfig cfg, int repeats) {
   ProbeResult best;
   for (int rep = 0; rep < repeats; ++rep) {
     cfg.seed = static_cast<std::uint64_t>(rep) + 1;
@@ -126,7 +123,7 @@ ProbeResult run_probe(bool obs_enabled, int repeats) {
       best.wall_s = wall;
       best.cycles = cfg.warmup_cycles + cfg.measure_cycles;
       best.packets = r.packets_delivered;
-      if (obs_enabled && ksw::obs::kEnabled) {
+      if (cfg.obs.enabled && ksw::obs::kEnabled) {
         best.warmup_s = r.metrics.timers().count("sim.phase.warmup") != 0
                             ? r.metrics.timers()
                                   .at("sim.phase.warmup")
@@ -143,31 +140,32 @@ ProbeResult run_probe(bool obs_enabled, int repeats) {
   return best;
 }
 
-void print_probe(const ProbeResult& r, bool obs_enabled) {
+void print_probe(const ksw::sim::NetworkConfig& cfg, const ProbeResult& r) {
   const double cycles_per_sec =
       static_cast<double>(r.cycles) / r.wall_s;
   const double packets_per_sec =
       static_cast<double>(r.packets) / r.wall_s;
-  std::printf("simulator throughput (k=2, stages=8, p=0.5, obs=%s):\n",
-              obs_enabled ? "on" : "off");
+  std::printf("simulator throughput (k=%u, stages=%u, p=%g, obs=%s):\n",
+              cfg.k, cfg.stages, cfg.p, cfg.obs.enabled ? "on" : "off");
   std::printf("  wall            %.4f s (best of runs)\n", r.wall_s);
   std::printf("  cycles/sec      %.3e\n", cycles_per_sec);
   std::printf("  packets/sec     %.3e\n", packets_per_sec);
-  if (obs_enabled && ksw::obs::kEnabled)
+  if (cfg.obs.enabled && ksw::obs::kEnabled)
     std::printf("  phase split     warmup %.4f s, measure %.4f s\n",
                 r.warmup_s, r.measure_s);
 
   ksw::io::Json j = ksw::io::Json::object();
-  j.set("k", std::int64_t{2});
-  j.set("stages", std::int64_t{8});
-  j.set("p", 0.5);
-  j.set("obs", obs_enabled ? "on" : "off");
+  j.set("k", static_cast<std::int64_t>(cfg.k));
+  j.set("stages", static_cast<std::int64_t>(cfg.stages));
+  j.set("p", cfg.p);
+  j.set("rho", cfg.rho());
+  j.set("obs", cfg.obs.enabled ? "on" : "off");
   j.set("cycles", r.cycles);
   j.set("packets", r.packets);
   j.set("wall_s", r.wall_s);
   j.set("cycles_per_sec", cycles_per_sec);
   j.set("packets_per_sec", packets_per_sec);
-  if (obs_enabled && ksw::obs::kEnabled) {
+  if (cfg.obs.enabled && ksw::obs::kEnabled) {
     j.set("warmup_s", r.warmup_s);
     j.set("measure_s", r.measure_s);
   }
@@ -193,7 +191,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  print_probe(run_probe(obs_enabled, 3), obs_enabled);
+  {
+    // Legacy acceptance probe; scripts/check_obs_overhead.sh keys on this
+    // line (k=2, stages=8), so it stays first.
+    ksw::sim::NetworkConfig cfg;
+    cfg.k = 2;
+    cfg.stages = 8;
+    cfg.p = 0.5;
+    cfg.warmup_cycles = 1'000;
+    cfg.measure_cycles = 20'000;
+    cfg.obs.enabled = obs_enabled;
+    print_probe(cfg, run_probe(cfg, 3));
+  }
+  for (const double rho : {0.5, 0.8, 0.95}) {
+    ksw::sim::NetworkConfig cfg;
+    cfg.k = 4;
+    cfg.stages = 6;
+    cfg.p = rho;  // unit service, bulk 1: rho == p
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 4'000;
+    cfg.obs.enabled = obs_enabled;
+    print_probe(cfg, run_probe(cfg, 3));
+  }
   if (perf_only) return 0;
 
   int bench_argc = static_cast<int>(passthrough.size());

@@ -18,10 +18,12 @@ if [ ! -x "$bin" ]; then
   exit 2
 fi
 
-# Extract cycles_per_sec from the BENCH_perf.json line of one probe run.
+# Extract cycles_per_sec from the first BENCH_perf.json line (the legacy
+# k=2, stages=8 probe; later lines are the rho sweep) of one probe run.
 probe() {
   "$bin" --perf-only "--obs=$1" |
-    sed -n 's/^BENCH_perf\.json .*"cycles_per_sec":\([0-9.eE+-]*\).*/\1/p'
+    sed -n 's/^BENCH_perf\.json .*"cycles_per_sec":\([0-9.eE+-]*\).*/\1/p' |
+    head -n 1
 }
 
 best() {

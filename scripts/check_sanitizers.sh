@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Build the whole tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# and run the test suite under it. Any heap error or UB diagnostic aborts
+# the offending test (-fno-sanitize-recover=all), so a clean ctest run
+# means the suite executed sanitizer-clean.
+#
+#   scripts/check_sanitizers.sh [build-dir] [ctest-regex]
+#
+# Benchmarks and examples are skipped: they add minutes of build time and
+# exercise the same library code the tests already cover.
+set -euo pipefail
+
+build_dir="${1:-build-asan}"
+filter="${2:-}"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$build_dir" -S "$src_dir" \
+  -DKSW_SANITIZE=ON \
+  -DKSW_BUILD_BENCH=OFF \
+  -DKSW_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)"
+
+ctest_args=(--test-dir "$build_dir" --output-on-failure -j "$(nproc)")
+if [ -n "$filter" ]; then
+  ctest_args+=(-R "$filter")
+fi
+
+# halt_on_error is the default for ASan; detect_leaks stays on so arena
+# bookkeeping mistakes in QueuePool would surface as leak reports.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  ctest "${ctest_args[@]}"
+
+echo "check_sanitizers: OK"

@@ -118,4 +118,30 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void parallel_for_chunks(ThreadPool& pool, std::size_t count,
+                         const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mu;
+  const std::size_t chunks = std::min(count, pool.thread_count());
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Balanced split: chunk c covers [count*c/chunks, count*(c+1)/chunks),
+    // so sizes differ by at most one.
+    const std::size_t begin = count * c / chunks;
+    const std::size_t end = count * (c + 1) / chunks;
+    pool.submit([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace ksw::par

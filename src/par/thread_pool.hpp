@@ -64,9 +64,21 @@ class ThreadPool {
 };
 
 /// Run body(i) for i in [0, count) across the pool; blocks until all done.
-/// Exceptions thrown by tasks propagate (the first one, after all finish).
+/// Indices are drained dynamically from a shared counter (good load
+/// balancing for uneven task costs). Exceptions thrown by tasks propagate
+/// (the first one, after all finish).
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
+
+/// Run body(i) for i in [0, count), statically partitioned into one
+/// contiguous chunk per worker; each chunk is walked in ascending index
+/// order. For equal-cost tasks (Monte-Carlo replicates) this trades
+/// parallel_for's dynamic balancing for fewer queue round-trips, a
+/// deterministic worker->index assignment, and per-worker locality of
+/// consecutive indices. Per-index outputs are identical to parallel_for.
+/// Exceptions propagate as in parallel_for.
+void parallel_for_chunks(ThreadPool& pool, std::size_t count,
+                         const std::function<void(std::size_t)>& body);
 
 /// Convenience: run `count` independent jobs producing results of type T,
 /// collected in index order into a vector (deterministic merge).

@@ -1,6 +1,7 @@
 #include "pgf/series.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace ksw::pgf {
@@ -62,8 +63,9 @@ Series Series::mul(const Series& a, const Series& b) {
 Series Series::divide(const Series& num, const Series& den) {
   if (num.length() != den.length())
     throw std::invalid_argument("Series::divide: length mismatch");
-  if (den.c_[0] == 0.0)
-    throw std::invalid_argument("Series::divide: den[0] == 0");
+  if (std::abs(den.c_[0]) < kDivideEpsilon)
+    throw std::invalid_argument(
+        "Series::divide: |den[0]| < kDivideEpsilon (ill-conditioned)");
   const std::size_t n = num.length();
   Series q(n);
   const double inv0 = 1.0 / den.c_[0];

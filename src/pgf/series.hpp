@@ -51,7 +51,15 @@ class Series {
   /// Truncated product (Cauchy convolution), O(N^2).
   [[nodiscard]] static Series mul(const Series& a, const Series& b);
 
-  /// Truncated quotient num/den; requires den[0] != 0.
+  /// Smallest |den[0]| divide() accepts. The long-division recurrence
+  /// multiplies every quotient coefficient by 1/den[0], so a leading
+  /// coefficient at (or within rounding noise of) zero amplifies into
+  /// inf/nan or garbage coefficients instead of failing loudly. 1e-12 is
+  /// far below any leading probability mass a PGF ratio in this codebase
+  /// produces, and far above cancellation noise of well-posed inputs.
+  static constexpr double kDivideEpsilon = 1e-12;
+
+  /// Truncated quotient num/den; requires |den[0]| >= kDivideEpsilon.
   [[nodiscard]] static Series divide(const Series& num, const Series& den);
 
   /// Composition outer(inner(z)) where `outer` is a finite polynomial given

@@ -1,0 +1,81 @@
+// Active-set port scheduler for one switch stage.
+//
+// The seed cycle loop scanned every port of every stage each cycle; at low
+// load almost all of that work is skip checks. This set tracks, per stage,
+// which ports could start a service this cycle: a 64-bit bitmap of
+// occupied (non-empty) ports, a bitmap of busy ports (mid multi-cycle
+// service), and a min-heap of busy expiries. The scan visits only set bits
+// of `occupied & ~busy`, in ascending port order — the same order as a
+// full sweep, so statistics accumulate bit-identically to the seed engine.
+//
+// Maintenance is incremental: push into an empty queue sets the occupied
+// bit, the pop that empties a queue clears it, starting an m >= 2 cycle
+// service sets the busy bit and queues its expiry (unit services never
+// block the next cycle, so callers skip the heap for them).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace ksw::sim {
+
+/// Worklist of serviceable ports within one stage.
+class ActiveSet {
+ public:
+  explicit ActiveSet(std::uint32_t ports)
+      : occupied_((ports + 63) / 64, 0), busy_((ports + 63) / 64, 0) {}
+
+  /// Port `a` has at least one queued packet.
+  void mark_occupied(std::uint32_t a) noexcept {
+    occupied_[a >> 6] |= std::uint64_t{1} << (a & 63);
+  }
+
+  /// Port `a`'s queue just became empty.
+  void clear_occupied(std::uint32_t a) noexcept {
+    occupied_[a >> 6] &= ~(std::uint64_t{1} << (a & 63));
+  }
+
+  /// Port `a` may not start another service before cycle `clear_at`.
+  void mark_busy(std::uint32_t a, std::int64_t clear_at) {
+    busy_[a >> 6] |= std::uint64_t{1} << (a & 63);
+    expiry_.emplace(clear_at, a);
+  }
+
+  /// Release every port whose busy period has ended by cycle `t`. Call
+  /// before scanning candidates for cycle `t`.
+  void expire(std::int64_t t) {
+    while (!expiry_.empty() && expiry_.top().first <= t) {
+      const std::uint32_t a = expiry_.top().second;
+      expiry_.pop();
+      busy_[a >> 6] &= ~(std::uint64_t{1} << (a & 63));
+    }
+  }
+
+  /// Visit every occupied, non-busy port in ascending order. `fn` may
+  /// clear_occupied / mark_busy the port it is visiting (each word is
+  /// snapshotted before its bits are walked).
+  template <typename Fn>
+  void for_each_candidate(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < occupied_.size(); ++wi) {
+      std::uint64_t w = occupied_[wi] & ~busy_[wi];
+      while (w != 0) {
+        const auto a = static_cast<std::uint32_t>(
+            (wi << 6) + static_cast<std::size_t>(std::countr_zero(w)));
+        w &= w - 1;
+        fn(a);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> occupied_;
+  std::vector<std::uint64_t> busy_;
+  using Expiry = std::pair<std::int64_t, std::uint32_t>;
+  std::priority_queue<Expiry, std::vector<Expiry>, std::greater<>> expiry_;
+};
+
+}  // namespace ksw::sim

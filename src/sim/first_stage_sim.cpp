@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "sim/ring_queue.hpp"
+#include "sim/queue_pool.hpp"
 
 namespace ksw::sim {
 
@@ -33,7 +33,7 @@ FirstStageResults run_first_stage(const FirstStageConfig& cfg) {
     throw std::invalid_argument("run_first_stage: bulk == 0");
 
   rng::Xoshiro256 gen(cfg.seed);
-  std::vector<RingQueue<Waiting>> queues(cfg.s);
+  QueuePool<Waiting> queues(cfg.s);
   std::vector<std::int64_t> busy_until(cfg.s, 0);
 
   FirstStageResults out;
@@ -50,16 +50,15 @@ FirstStageResults run_first_stage(const FirstStageConfig& cfg) {
               ? input % cfg.s
               : static_cast<unsigned>(gen.uniform_int(cfg.s));
       for (unsigned pkt = 0; pkt < cfg.bulk; ++pkt)
-        queues[dest].push(Waiting{t, cfg.service.sample(gen)});
+        queues.push(dest, Waiting{t, cfg.service.sample(gen)});
     }
 
     // Service: each queue begins at most one service per cycle.
     const bool measuring = t >= cfg.warmup_cycles;
     for (unsigned qi = 0; qi < cfg.s; ++qi) {
-      auto& queue = queues[qi];
-      if (busy_until[qi] > t || queue.empty()) continue;
-      const Waiting head = queue.front();
-      queue.pop();
+      if (busy_until[qi] > t || queues.empty(qi)) continue;
+      const Waiting head = queues.front(qi);
+      queues.pop(qi);
       busy_until[qi] = t + head.service;
       if (measuring) {
         const std::int64_t w = t - head.arrival;
@@ -71,7 +70,7 @@ FirstStageResults run_first_stage(const FirstStageConfig& cfg) {
 
     if (measuring && t % kDepthSampleStride == 0)
       for (unsigned qi = 0; qi < cfg.s; ++qi)
-        out.queue_depth.add(static_cast<double>(queues[qi].size()));
+        out.queue_depth.add(static_cast<double>(queues.size(qi)));
   }
   return out;
 }

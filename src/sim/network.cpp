@@ -1,96 +1,98 @@
+// Optimized network engine: flat structure-of-arrays queue pool, hot/cold
+// packet split, and active-set scheduling. Produces bit-identical results
+// (statistics, histograms, covariances, telemetry) to the seed engine kept
+// in network_reference.cpp; tests/sim/engine_equivalence_test.cpp enforces
+// the equivalence.
+//
+// Layout decisions, in order of measured impact:
+//   * Packet is 32 bytes: the 16-entry stage_waits array the seed engine
+//     copied on every hop lives in a side table (CorrTable) allocated only
+//     when cfg.track_correlations is set; hot packets carry an index.
+//   * All stages x ports queues live in one QueuePool — flat metadata
+//     arrays indexed by stage * ports + port, element storage carved from
+//     a shared arena (see queue_pool.hpp).
+//   * Each stage keeps an ActiveSet (occupied/busy bitmaps + busy-expiry
+//     heap), so the per-cycle service scan touches only occupied,
+//     non-busy ports instead of sweeping the whole topology. Bits are
+//     walked in ascending port order — the exact order of the seed
+//     engine's full sweep, which is what makes bit-identity possible.
 #include "sim/network.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cstdio>
 #include <stdexcept>
-#include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "rng/xoshiro.hpp"
-#include "sim/ring_queue.hpp"
+#include "sim/active_set.hpp"
+#include "sim/network_detail.hpp"
+#include "sim/queue_pool.hpp"
 #include "sim/topology.hpp"
 
 namespace ksw::sim {
 
 namespace {
 
+/// Hot per-packet state; one ring-buffer slot, copied on every hop.
 struct Packet {
-  std::uint32_t dst = 0;
-  std::uint32_t service = 1;
   std::int64_t arrival = 0;  // cycle available at the current queue
   std::int64_t born = 0;     // injection cycle (measurement gating)
+  std::uint32_t dst = 0;
+  std::uint32_t service = 1;
   std::int32_t total_wait = 0;
-  std::array<std::int32_t, kMaxTrackedStages> stage_waits{};
+  std::uint32_t corr = 0;  // CorrTable row (track_correlations only)
 };
+static_assert(sizeof(Packet) <= 32, "Packet must stay hot-loop sized");
 
-void validate(const NetworkConfig& cfg) {
-  if (cfg.k < 2) throw std::invalid_argument("run_network: k must be >= 2");
-  if (cfg.stages == 0)
-    throw std::invalid_argument("run_network: stages must be >= 1");
-  if (!(cfg.p >= 0.0 && cfg.p <= 1.0))
-    throw std::invalid_argument("run_network: p outside [0,1]");
-  if (!(cfg.q >= 0.0 && cfg.q <= 1.0))
-    throw std::invalid_argument("run_network: q outside [0,1]");
-  if (cfg.bulk == 0) throw std::invalid_argument("run_network: bulk == 0");
-  if (!(cfg.hotspot >= 0.0 && cfg.hotspot <= 1.0))
-    throw std::invalid_argument("run_network: hotspot outside [0,1]");
-  if (cfg.track_correlations && cfg.stages > kMaxTrackedStages)
-    throw std::invalid_argument(
-        "run_network: correlation tracking limited to 16 stages");
-  for (unsigned c : cfg.total_checkpoints)
-    if (c == 0 || c > cfg.stages)
-      throw std::invalid_argument(
-          "run_network: total checkpoint outside [1, stages]");
-  if (cfg.obs.enabled && cfg.obs.occupancy_buckets == 0)
-    throw std::invalid_argument(
-        "run_network: obs.occupancy_buckets must be >= 1");
-}
+/// Side table of per-stage waits for in-flight packets, allocated only in
+/// correlation-tracking runs. Rows are recycled through a free list; a row
+/// is live from injection to delivery.
+class CorrTable {
+ public:
+  explicit CorrTable(unsigned stages) : stages_(stages) {}
 
-/// "sim.stageNN.<what>" — stages are 1-based and zero-padded so the
-/// registry's name order matches stage order.
-std::string stage_metric(unsigned stage, const char* what) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "sim.stage%02u.%s", stage, what);
-  return buf;
-}
+  std::uint32_t allocate() {
+    if (free_.empty()) {
+      const std::uint32_t r = rows_++;
+      pool_.resize(static_cast<std::size_t>(rows_) * stages_, 0);
+      return r;
+    }
+    const std::uint32_t r = free_.back();
+    free_.pop_back();
+    std::fill_n(row(r), stages_, 0);
+    return r;
+  }
 
-/// Cached per-stage metric handles so the hot loop never touches the
-/// registry's map.
-struct StageObs {
-  obs::Histogram* occupancy = nullptr;
-  obs::Gauge* peak = nullptr;
-  obs::Counter* starts = nullptr;
-  obs::Counter* idle = nullptr;
-  obs::Counter* busy = nullptr;
-  obs::Counter* blocked = nullptr;
-};
+  void release(std::uint32_t r) { free_.push_back(r); }
 
-/// Per-stage event tallies kept in plain (non-atomic) locals during the
-/// cycle loop — the replicate is single-threaded, so deferring the atomic
-/// registry updates to one flush after the run keeps the per-event cost to
-/// an ordinary increment. Flushed into StageObs by run_network.
-struct StageTally {
-  std::uint64_t starts = 0;
-  std::uint64_t idle = 0;
-  std::uint64_t busy = 0;
-  std::uint64_t blocked = 0;
-  std::size_t peak = 0;
+  /// Pointer valid until the next allocate().
+  [[nodiscard]] std::int32_t* row(std::uint32_t r) noexcept {
+    return pool_.data() + static_cast<std::size_t>(r) * stages_;
+  }
+
+ private:
+  unsigned stages_;
+  std::uint32_t rows_ = 0;
+  std::vector<std::int32_t> pool_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace
 
 void NetworkResults::merge(const NetworkResults& other) {
   if (stage_wait.size() != other.stage_wait.size() ||
+      stage_depth.size() != other.stage_depth.size() ||
       total_wait.size() != other.total_wait.size())
     throw std::invalid_argument("NetworkResults::merge: shape mismatch");
+  if (stage_hist.size() != other.stage_hist.size())
+    throw std::invalid_argument(
+        "NetworkResults::merge: stage_hist shape mismatch");
   for (std::size_t i = 0; i < stage_wait.size(); ++i) {
     stage_wait[i].merge(other.stage_wait[i]);
     stage_depth[i].merge(other.stage_depth[i]);
   }
-  if (stage_hist.size() == other.stage_hist.size())
-    for (std::size_t i = 0; i < stage_hist.size(); ++i)
-      stage_hist[i].merge(other.stage_hist[i]);
+  for (std::size_t i = 0; i < stage_hist.size(); ++i)
+    stage_hist[i].merge(other.stage_hist[i]);
   for (std::size_t i = 0; i < total_wait.size(); ++i)
     total_wait[i].merge(other.total_wait[i]);
   if (stage_covariance && other.stage_covariance)
@@ -103,18 +105,21 @@ void NetworkResults::merge(const NetworkResults& other) {
 }
 
 NetworkResults run_network(const NetworkConfig& cfg) {
-  validate(cfg);
+  detail::validate(cfg);
   const Topology topo(cfg.topology, cfg.k, cfg.stages);
   const std::uint32_t ports = topo.ports();
+  detail::validate_hotspot_target(cfg, ports);
   const unsigned n = cfg.stages;
 
   rng::Xoshiro256 gen(cfg.seed);
 
-  // queues[s][a]: the output queue at butterfly node (stage s, address a).
-  std::vector<std::vector<RingQueue<Packet>>> queues(
-      n, std::vector<RingQueue<Packet>>(ports));
-  std::vector<std::vector<std::int64_t>> busy_until(
-      n, std::vector<std::int64_t>(ports, 0));
+  // Queue id for (stage s, address a): one flat index into the pool and
+  // every per-queue side array.
+  QueuePool<Packet> pool(static_cast<std::size_t>(n) * ports);
+  const auto qid = [ports](unsigned s, std::uint32_t a) {
+    return static_cast<std::size_t>(s) * ports + a;
+  };
+  std::vector<ActiveSet> active(n, ActiveSet(ports));
 
   // Checkpoint lookup: after completing c stages, record into
   // total_wait[checkpoint_of[c]].
@@ -129,51 +134,21 @@ NetworkResults run_network(const NetworkConfig& cfg) {
   out.total_wait.resize(cfg.total_checkpoints.size());
   if (cfg.track_correlations) out.stage_covariance.emplace(n);
 
+  CorrTable corr(cfg.track_correlations ? n : 1);
   std::vector<double> corr_scratch(n, 0.0);
   const std::int64_t total_cycles = cfg.warmup_cycles + cfg.measure_cycles;
   constexpr std::int64_t kDepthSampleStride = 64;
   const bool finite = cfg.buffer_capacity > 0;
 
-  // --- Telemetry setup (all dead code when compiled out) -----------------
-  const bool obs_on = obs::kEnabled && cfg.obs.enabled;
-  std::vector<StageObs> sobs;
-  std::vector<StageTally> tally(obs_on ? n : 0);
-  obs::Counter* dropped0 = nullptr;
-  if (obs_on) {
-    sobs.resize(n);
-    for (unsigned s = 0; s < n; ++s) {
-      const unsigned label = s + 1;
-      sobs[s].occupancy =
-          &out.metrics.histogram(stage_metric(label, "occupancy"), 0.0, 1.0,
-                                 cfg.obs.occupancy_buckets);
-      sobs[s].peak = &out.metrics.gauge(stage_metric(label, "peak_depth"));
-      sobs[s].starts =
-          &out.metrics.counter(stage_metric(label, "service_starts"));
-      sobs[s].idle =
-          &out.metrics.counter(stage_metric(label, "idle_samples"));
-      sobs[s].busy =
-          &out.metrics.counter(stage_metric(label, "busy_samples"));
-      sobs[s].blocked =
-          &out.metrics.counter(stage_metric(label, "blocked_transfers"));
-    }
-    dropped0 = &out.metrics.counter(stage_metric(1, "dropped"));
-  }
-
-  // Warmup-convergence trace: cumulative per-stage wait sums (warmup
-  // included) snapshotted on an even grid over the whole run.
-  std::vector<std::int64_t> conv_grid;
-  if (obs_on && cfg.obs.trace_points > 0 && total_cycles > 0)
-    for (unsigned j = 1; j <= cfg.obs.trace_points; ++j) {
-      const std::int64_t c =
-          total_cycles * static_cast<std::int64_t>(j) /
-          static_cast<std::int64_t>(cfg.obs.trace_points);
-      if (c > 0 && (conv_grid.empty() || c > conv_grid.back()))
-        conv_grid.push_back(c);
-    }
-  const bool trace_on = !conv_grid.empty();
-  std::vector<double> conv_sum(trace_on ? n : 0, 0.0);
-  std::vector<std::uint64_t> conv_cnt(trace_on ? n : 0, 0);
-  std::size_t next_cp = 0;
+  detail::ObsState ob;
+  ob.init(cfg, n, total_cycles, out);
+  const bool obs_on = ob.on;
+  // Utilization sampling needs per-port service end times; the scheduler
+  // itself only tracks multi-cycle services (in the ActiveSet heaps), so
+  // keep the flat busy_until array only when the samples are taken.
+  const bool sample_busy = obs_on && cfg.obs.stride != 0;
+  std::vector<std::int64_t> busy_until(
+      sample_busy ? static_cast<std::size_t>(n) * ports : 0, 0);
 
   // One simulated cycle; called with strictly increasing t.
   const auto step = [&](const std::int64_t t) {
@@ -182,14 +157,15 @@ NetworkResults run_network(const NetworkConfig& cfg) {
       if (!gen.bernoulli(cfg.p)) continue;
       std::uint32_t dst;
       if (cfg.hotspot > 0.0 && gen.bernoulli(cfg.hotspot))
-        dst = cfg.hotspot_target % ports;
+        dst = cfg.hotspot_target;
       else if (cfg.q > 0.0 && gen.bernoulli(cfg.q))
         dst = src;
       else
         dst = static_cast<std::uint32_t>(gen.uniform_int(ports));
       const std::uint32_t addr0 = topo.entry_queue(src, dst);
+      const std::size_t q0 = addr0;  // qid(0, addr0)
       for (unsigned b = 0; b < cfg.bulk; ++b) {
-        if (finite && queues[0][addr0].size() >= cfg.buffer_capacity) {
+        if (finite && pool.size(q0) >= cfg.buffer_capacity) {
           if (t >= cfg.warmup_cycles) ++out.packets_dropped;
           continue;
         }
@@ -198,23 +174,23 @@ NetworkResults run_network(const NetworkConfig& cfg) {
         pkt.service = cfg.service.sample(gen);
         pkt.arrival = t;
         pkt.born = t;
-        queues[0][addr0].push(pkt);
+        if (cfg.track_correlations) pkt.corr = corr.allocate();
+        pool.push(q0, pkt);
+        active[0].mark_occupied(addr0);
         if (obs_on)
-          tally[0].peak = std::max(tally[0].peak, queues[0][addr0].size());
+          ob.tally[0].peak = std::max(ob.tally[0].peak, pool.size(q0));
         if (t >= cfg.warmup_cycles) ++out.packets_injected;
       }
     }
 
     // --- Service, stage by stage -----------------------------------------
     for (unsigned s = 0; s < n; ++s) {
-      auto& stage_queues = queues[s];
-      auto& stage_busy = busy_until[s];
-      for (std::uint32_t a = 0; a < ports; ++a) {
-        if (stage_busy[a] > t) continue;
-        auto& queue = stage_queues[a];
-        if (queue.empty()) continue;
-        Packet& head = queue.front();
-        if (head.arrival > t) continue;  // delivered later this cycle
+      ActiveSet& sched = active[s];
+      sched.expire(t);
+      sched.for_each_candidate([&](std::uint32_t a) {
+        const std::size_t q = qid(s, a);
+        Packet& head = pool.front(q);
+        if (head.arrival > t) return;  // delivered later this cycle
 
         std::uint32_t next_addr = 0;
         if (s + 1 < n) {
@@ -222,51 +198,61 @@ NetworkResults run_network(const NetworkConfig& cfg) {
           // Finite buffers: block upstream service on a full downstream
           // queue (backpressure).
           if (finite &&
-              queues[s + 1][next_addr].size() >= cfg.buffer_capacity) {
-            if (obs_on && t >= cfg.warmup_cycles) ++tally[s].blocked;
-            continue;
+              pool.size(qid(s + 1, next_addr)) >= cfg.buffer_capacity) {
+            if (obs_on && t >= cfg.warmup_cycles) ++ob.tally[s].blocked;
+            return;
           }
         }
 
         const std::int64_t w = t - head.arrival;
-        if (trace_on) {
-          conv_sum[s] += static_cast<double>(w);
-          ++conv_cnt[s];
+        if (ob.trace_on) {
+          ob.conv_sum[s] += static_cast<double>(w);
+          ++ob.conv_cnt[s];
         }
-        if (obs_on && t >= cfg.warmup_cycles) ++tally[s].starts;
+        if (obs_on && t >= cfg.warmup_cycles) ++ob.tally[s].starts;
         const bool measured = head.born >= cfg.warmup_cycles;
         if (measured) {
           out.stage_wait[s].add(static_cast<double>(w));
           if (cfg.track_stage_histograms) out.stage_hist[s].add(w);
           head.total_wait += static_cast<std::int32_t>(w);
           if (cfg.track_correlations)
-            head.stage_waits[s] = static_cast<std::int32_t>(w);
+            corr.row(head.corr)[s] = static_cast<std::int32_t>(w);
           const int cp = checkpoint_of[s + 1];
           if (cp >= 0) out.total_wait[static_cast<std::size_t>(cp)].add(
               head.total_wait);
         }
 
-        stage_busy[a] = t + head.service;
+        const std::uint32_t service = head.service;
+        if (sample_busy) busy_until[q] = t + service;
         if (s + 1 < n) {
           Packet moved = head;
           moved.arrival = t + 1;
-          queue.pop();
-          queues[s + 1][next_addr].push(moved);
+          pool.pop(q);
+          if (pool.empty(q)) sched.clear_occupied(a);
+          const std::size_t nq = qid(s + 1, next_addr);
+          pool.push(nq, moved);
+          active[s + 1].mark_occupied(next_addr);
           if (obs_on)
-            tally[s + 1].peak =
-                std::max(tally[s + 1].peak, queues[s + 1][next_addr].size());
+            ob.tally[s + 1].peak =
+                std::max(ob.tally[s + 1].peak, pool.size(nq));
         } else {
           if (measured) {
             ++out.packets_delivered;
             if (cfg.track_correlations) {
+              const std::int32_t* row = corr.row(head.corr);
               for (unsigned i = 0; i < n; ++i)
-                corr_scratch[i] = static_cast<double>(head.stage_waits[i]);
+                corr_scratch[i] = static_cast<double>(row[i]);
               out.stage_covariance->add(corr_scratch);
             }
           }
-          queue.pop();
+          if (cfg.track_correlations) corr.release(head.corr);
+          pool.pop(q);
+          if (pool.empty(q)) sched.clear_occupied(a);
         }
-      }
+        // Unit services never block the next cycle; only m >= 2 enters
+        // the busy set (and its expiry heap).
+        if (service > 1) sched.mark_busy(a, t + service);
+      });
     }
 
     // --- Occupancy sampling ----------------------------------------------
@@ -275,37 +261,33 @@ NetworkResults run_network(const NetworkConfig& cfg) {
         for (std::uint32_t a = 0; a < ports; ++a) {
           // Exclude packets still in flight on the inter-stage link
           // (cut-through arrivals stamped t + 1); they sit at the tail.
-          const auto& queue = queues[s][a];
-          std::size_t present = queue.size();
-          while (present > 0 && queue.at(present - 1).arrival > t) --present;
+          const std::size_t q = qid(s, a);
+          std::size_t present = pool.size(q);
+          while (present > 0 && pool.at(q, present - 1).arrival > t)
+            --present;
           out.stage_depth[s].add(static_cast<double>(present));
         }
 
     // --- Telemetry sampling (occupancy histograms, server utilization) ---
-    if (obs_on && cfg.obs.stride != 0 && t >= cfg.warmup_cycles &&
+    if (sample_busy && t >= cfg.warmup_cycles &&
         t % static_cast<std::int64_t>(cfg.obs.stride) == 0)
       for (unsigned s = 0; s < n; ++s) {
-        StageObs& so = sobs[s];
+        detail::StageObs& so = ob.sobs[s];
         for (std::uint32_t a = 0; a < ports; ++a) {
-          const auto& queue = queues[s][a];
-          std::size_t present = queue.size();
-          while (present > 0 && queue.at(present - 1).arrival > t) --present;
+          const std::size_t q = qid(s, a);
+          std::size_t present = pool.size(q);
+          while (present > 0 && pool.at(q, present - 1).arrival > t)
+            --present;
           so.occupancy->record(static_cast<double>(present));
-          if (busy_until[s][a] > t)
-            ++tally[s].busy;
+          if (busy_until[q] > t)
+            ++ob.tally[s].busy;
           else
-            ++tally[s].idle;
+            ++ob.tally[s].idle;
         }
       }
 
     // --- Convergence checkpoint ------------------------------------------
-    if (trace_on && next_cp < conv_grid.size() &&
-        t + 1 == conv_grid[next_cp]) {
-      out.convergence.cycles.push_back(t + 1);
-      out.convergence.wait_sum.push_back(conv_sum);
-      out.convergence.wait_count.push_back(conv_cnt);
-      ++next_cp;
-    }
+    ob.checkpoint(t, out);
   };
 
   // --- Phased main loop: warmup then measurement, each timed -------------
@@ -322,26 +304,7 @@ NetworkResults run_network(const NetworkConfig& cfg) {
     for (std::int64_t t = warmup_end; t < total_cycles; ++t) step(t);
   }
 
-  if (obs_on) {
-    for (unsigned s = 0; s < n; ++s) {
-      sobs[s].starts->inc(tally[s].starts);
-      sobs[s].idle->inc(tally[s].idle);
-      sobs[s].busy->inc(tally[s].busy);
-      sobs[s].blocked->inc(tally[s].blocked);
-      sobs[s].peak->record_max(static_cast<double>(tally[s].peak));
-    }
-    // Drops only ever happen at first-stage injection, so the per-stage
-    // counter equals the run total.
-    dropped0->inc(out.packets_dropped);
-    out.metrics.counter("sim.cycles.warmup")
-        .inc(static_cast<std::uint64_t>(warmup_end));
-    out.metrics.counter("sim.cycles.measure")
-        .inc(static_cast<std::uint64_t>(total_cycles - warmup_end));
-    out.metrics.counter("sim.replicates").inc(1);
-    out.metrics.counter("sim.packets.injected").inc(out.packets_injected);
-    out.metrics.counter("sim.packets.delivered").inc(out.packets_delivered);
-    out.metrics.counter("sim.packets.dropped").inc(out.packets_dropped);
-  }
+  ob.flush(warmup_end, total_cycles, out);
   return out;
 }
 

@@ -141,7 +141,15 @@ struct NetworkResults {
   void merge(const NetworkResults& other);
 };
 
-/// Run the network simulation.
+/// Run the network simulation (flat SoA queue pool + active-set scheduler;
+/// see network.cpp for the layout notes).
 [[nodiscard]] NetworkResults run_network(const NetworkConfig& cfg);
+
+/// The seed engine (array-of-structs packets, full port sweep each cycle),
+/// kept as a correctness oracle: for any config it produces bit-identical
+/// results — statistics, histograms, covariances, and telemetry — to
+/// run_network. Orders of magnitude slower on large topologies; use it for
+/// A/B debugging and the equivalence test suite, not production runs.
+[[nodiscard]] NetworkResults run_network_reference(const NetworkConfig& cfg);
 
 }  // namespace ksw::sim

@@ -1,0 +1,83 @@
+// Internals shared by the two network-simulation engines.
+//
+// run_network (flat SoA pool + active-set scheduler) and
+// run_network_reference (the seed full-sweep engine kept as a correctness
+// oracle) must agree bit-for-bit on every output, including telemetry.
+// Everything that is not the cycle loop itself — config validation, metric
+// naming, per-stage telemetry scaffolding, the warmup-convergence grid —
+// lives here so the engines cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace ksw::sim::detail {
+
+/// Reject invalid configs (everything checkable without the topology).
+void validate(const NetworkConfig& cfg);
+
+/// Reject hotspot targets outside the port range. Separate from validate()
+/// because the port count comes from the constructed Topology.
+void validate_hotspot_target(const NetworkConfig& cfg, std::uint32_t ports);
+
+/// "sim.stageNN.<what>" — stages are 1-based and zero-padded so the
+/// registry's name order matches stage order.
+std::string stage_metric(unsigned stage, const char* what);
+
+/// Cached per-stage metric handles so the hot loop never touches the
+/// registry's map.
+struct StageObs {
+  obs::Histogram* occupancy = nullptr;
+  obs::Gauge* peak = nullptr;
+  obs::Counter* starts = nullptr;
+  obs::Counter* idle = nullptr;
+  obs::Counter* busy = nullptr;
+  obs::Counter* blocked = nullptr;
+};
+
+/// Per-stage event tallies kept in plain (non-atomic) locals during the
+/// cycle loop — the replicate is single-threaded, so deferring the atomic
+/// registry updates to one flush after the run keeps the per-event cost to
+/// an ordinary increment. Flushed into StageObs by ObsState::flush.
+struct StageTally {
+  std::uint64_t starts = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t blocked = 0;
+  std::size_t peak = 0;
+};
+
+/// All per-run telemetry state: metric handles, event tallies, and the
+/// warmup-convergence trace. Dead weight (empty vectors, false flags) when
+/// telemetry is off or compiled out.
+struct ObsState {
+  bool on = false;
+  std::vector<StageObs> sobs;
+  std::vector<StageTally> tally;
+  obs::Counter* dropped0 = nullptr;
+
+  /// Warmup-convergence trace: cumulative per-stage wait sums (warmup
+  /// included) snapshotted on an even grid over the whole run.
+  bool trace_on = false;
+  std::vector<std::int64_t> conv_grid;
+  std::vector<double> conv_sum;
+  std::vector<std::uint64_t> conv_cnt;
+  std::size_t next_cp = 0;
+
+  /// Register metric handles in out.metrics and build the trace grid.
+  void init(const NetworkConfig& cfg, unsigned n, std::int64_t total_cycles,
+            NetworkResults& out);
+
+  /// Record a convergence checkpoint if cycle `t` completes one.
+  void checkpoint(std::int64_t t, NetworkResults& out);
+
+  /// Flush tallies and run counters into out.metrics after the cycle loop.
+  void flush(std::int64_t warmup_end, std::int64_t total_cycles,
+             NetworkResults& out) const;
+};
+
+}  // namespace ksw::sim::detail

@@ -20,8 +20,12 @@ NetworkResults replicate_network(const NetworkConfig& base,
   if (replicates == 0)
     throw std::invalid_argument("replicate_network: replicates == 0");
   const bool obs_on = obs::kEnabled && base.obs.enabled;
+  // Static contiguous-chunk sharding: replicates are equal-cost, so one
+  // chunk per worker beats dynamic index stealing, and each replicate's
+  // seed depends only on its index — results land in parts[i] regardless
+  // of which worker ran it.
   std::vector<NetworkResults> parts(replicates);
-  par::parallel_for(pool, replicates, [&](std::size_t i) {
+  par::parallel_for_chunks(pool, replicates, [&](std::size_t i) {
     NetworkConfig cfg = base;
     cfg.seed = replicate_seed(base.seed, static_cast<unsigned>(i));
     parts[i] = run_network(cfg);
@@ -44,7 +48,7 @@ FirstStageResults replicate_first_stage(const FirstStageConfig& base,
   if (replicates == 0)
     throw std::invalid_argument("replicate_first_stage: replicates == 0");
   std::vector<FirstStageResults> parts(replicates);
-  par::parallel_for(pool, replicates, [&](std::size_t i) {
+  par::parallel_for_chunks(pool, replicates, [&](std::size_t i) {
     FirstStageConfig cfg = base;
     cfg.seed = replicate_seed(base.seed, static_cast<unsigned>(i));
     parts[i] = run_first_stage(cfg);
@@ -61,7 +65,7 @@ std::vector<double> replicate_network_means(const NetworkConfig& base,
   if (replicates == 0)
     throw std::invalid_argument("replicate_network_means: replicates == 0");
   std::vector<double> means(replicates);
-  par::parallel_for(pool, replicates, [&](std::size_t i) {
+  par::parallel_for_chunks(pool, replicates, [&](std::size_t i) {
     NetworkConfig cfg = base;
     cfg.seed = replicate_seed(base.seed, static_cast<unsigned>(i));
     const NetworkResults res = run_network(cfg);

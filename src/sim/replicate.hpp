@@ -1,9 +1,10 @@
 // Parallel Monte-Carlo replication of simulations.
 //
-// R independent replicates run across a thread pool, each with an
-// independent RNG stream derived deterministically from the base seed, and
-// results are merged in replicate order — so output is bit-identical for a
-// fixed seed regardless of thread count.
+// R independent replicates are sharded into contiguous chunks, one per
+// pool worker; each replicate's RNG stream is derived deterministically
+// from (base seed, replicate index) alone, and results are merged in
+// strict replicate-index order on the calling thread — so output is
+// bit-identical for a fixed seed regardless of thread count or sharding.
 #pragma once
 
 #include <vector>

@@ -1,9 +1,11 @@
 // Growable ring-buffer FIFO.
 //
-// The hot path of the simulator is push/pop on tens of thousands of
-// per-port queues every cycle; std::deque's chunked allocation is too
-// heavy. This ring grows geometrically and never shrinks, so steady-state
-// operation is allocation-free.
+// A single self-contained queue: geometric growth, never shrinks, so
+// steady-state operation is allocation-free. The simulator hot paths use
+// QueuePool (queue_pool.hpp), which applies the same ring discipline to
+// thousands of queues with flat shared metadata and arena storage; this
+// class remains for single-queue uses (and as the storage of the reference
+// network engine, which mirrors the seed layout on purpose).
 #pragma once
 
 #include <cstddef>
@@ -20,6 +22,7 @@ class RingQueue {
 
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
 
   void push(T value) {
     if (size_ == buf_.size()) grow();

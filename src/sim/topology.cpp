@@ -14,35 +14,10 @@ Topology::Topology(TopologyKind kind, unsigned k, unsigned stages)
           "Topology: network too large (k^stages > 2^24 ports)");
     pow_[i] = pow_[i - 1] * k_;
   }
-}
-
-std::uint32_t Topology::entry_queue(std::uint32_t src,
-                                    std::uint32_t dst) const {
-  switch (kind_) {
-    case TopologyKind::kButterfly:
-      return replace_digit(src, 0, digit(dst, 0));
-    case TopologyKind::kOmega: {
-      // Shuffle the input, then the switch routes on the first digit:
-      // queue = switch * k + dst[0], i.e. replace the LAST digit of the
-      // shuffled position.
-      const std::uint32_t pos = shuffle(src);
-      return (pos / k_) * k_ + digit(dst, 0);
-    }
+  if ((k_ & (k_ - 1)) == 0) {
+    log2k_ = 0;
+    for (unsigned v = k_; v > 1; v >>= 1) ++log2k_;
   }
-  return 0;
-}
-
-std::uint32_t Topology::next_queue(unsigned s, std::uint32_t current,
-                                   std::uint32_t dst) const {
-  switch (kind_) {
-    case TopologyKind::kButterfly:
-      return replace_digit(current, s + 1, digit(dst, s + 1));
-    case TopologyKind::kOmega: {
-      const std::uint32_t pos = shuffle(current);
-      return (pos / k_) * k_ + digit(dst, s + 1);
-    }
-  }
-  return 0;
 }
 
 std::string Topology::describe() const {

@@ -55,6 +55,44 @@ TEST(ParallelFor, MoreTasksThanThreads) {
   EXPECT_EQ(sum.load(), 10000L * 9999L / 2L);
 }
 
+TEST(ParallelForChunks, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                              std::size_t{7}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for_chunks(pool, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ParallelForChunks, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for_chunks(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForChunks, SingleThreadRunsAscending) {
+  // With one worker there is one chunk, so indices arrive in order — the
+  // property replicate sharding leans on for reproducible chunk walks.
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  parallel_for_chunks(pool, 64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForChunks, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for_chunks(pool, 100,
+                                   [](std::size_t i) {
+                                     if (i == 61)
+                                       throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  parallel_for_chunks(pool, 10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
 TEST(ParallelFor, PropagatesFirstException) {
   ThreadPool pool(4);
   EXPECT_THROW(parallel_for(pool, 100,

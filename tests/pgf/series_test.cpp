@@ -84,6 +84,22 @@ TEST(Series, DivideRejectsZeroConstant) {
   EXPECT_THROW(Series::divide(n, d), std::invalid_argument);
 }
 
+TEST(Series, DivideRejectsNearZeroConstant) {
+  // Regression: a denominator constant term within rounding noise of zero
+  // used to divide through and amplify into garbage coefficients; it must
+  // fail as loudly as an exact zero.
+  Series n(4), d(4);
+  n[0] = 1.0;
+  d[0] = 1e-15;
+  d[1] = 1.0;
+  EXPECT_THROW(Series::divide(n, d), std::invalid_argument);
+  d[0] = -1e-15;
+  EXPECT_THROW(Series::divide(n, d), std::invalid_argument);
+  // Just above the documented threshold is accepted.
+  d[0] = 2.0 * Series::kDivideEpsilon;
+  EXPECT_NO_THROW(Series::divide(n, d));
+}
+
 TEST(Series, ComposePolynomialMatchesDirectExpansion) {
   // outer(y) = 1 + y + y^2, inner = z + z^2:
   // result = 1 + (z+z^2) + (z+z^2)^2 = 1 + z + 2z^2 + 2z^3 + z^4.

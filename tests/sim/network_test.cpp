@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "core/closed_forms.hpp"
 
@@ -249,6 +251,53 @@ TEST(NetworkSim, ValidatesConfig) {
   cfg.k = 4;
   cfg.stages = 15;  // 4^15 ports: too large
   EXPECT_THROW(run_network(cfg), std::invalid_argument);
+}
+
+TEST(NetworkSim, CorrelationLimitMessageTracksConstant) {
+  // Regression: the error text used to hardcode "16 stages"; it must stay
+  // in sync with kMaxTrackedStages.
+  NetworkConfig cfg;
+  cfg.stages = kMaxTrackedStages + 1;
+  cfg.track_correlations = true;
+  try {
+    (void)run_network(cfg);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(std::to_string(kMaxTrackedStages)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetworkSim, RejectsHotspotTargetOutsideNetwork) {
+  // Regression: an out-of-range target used to be silently wrapped with
+  // `% ports`, redirecting the hot spot to an unrelated output.
+  NetworkConfig cfg = small_config();
+  cfg.hotspot = 0.1;
+  cfg.hotspot_target = 1u << cfg.stages;  // == ports: one past the end
+  EXPECT_THROW(run_network(cfg), std::invalid_argument);
+  cfg.hotspot_target = (1u << cfg.stages) - 1;  // last valid output
+  cfg.measure_cycles = 500;
+  const auto r = run_network(cfg);
+  EXPECT_GT(r.packets_delivered, 0u);
+}
+
+TEST(NetworkSim, MergeRejectsStageHistShapeMismatch) {
+  // Regression: merge used to skip mismatched stage_hist vectors silently,
+  // losing one replicate's histograms without any signal.
+  NetworkConfig cfg = small_config();
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 500;
+  cfg.track_stage_histograms = true;
+  NetworkResults with_hist = run_network(cfg);
+  cfg.track_stage_histograms = false;
+  const NetworkResults without_hist = run_network(cfg);
+  EXPECT_THROW(with_hist.merge(without_hist), std::invalid_argument);
+
+  NetworkConfig other = cfg;
+  other.stages = cfg.stages - 1;
+  NetworkResults shallower = run_network(other);
+  EXPECT_THROW(shallower.merge(without_hist), std::invalid_argument);
 }
 
 }  // namespace
