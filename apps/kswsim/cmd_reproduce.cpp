@@ -1,0 +1,167 @@
+// kswsim reproduce — regenerate the paper-reproduction book from a
+// declarative sweep manifest.
+//
+//   kswsim reproduce --manifest=manifests/paper.json
+//                    [--out-dir=DIR] [--index=FILE] [--threads=T]
+//                    [--section=ID[,ID...]] [--list] [--check]
+//
+// Default mode runs every section (analytic model vs replicated
+// simulation at each grid point), writes <out-dir>/<id>.md + .csv per
+// section and the index, prints a gate summary, and exits 3 if any
+// agreement gate failed. --check regenerates in memory and compares
+// against the committed files instead of writing: exit 4 on drift.
+// Output is bit-identical for a fixed manifest at any --threads.
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "kswsim/cli.hpp"
+#include "par/thread_pool.hpp"
+#include "sweep/emit.hpp"
+#include "sweep/manifest.hpp"
+#include "sweep/runner.hpp"
+#include "tables/table.hpp"
+
+namespace ksw::cli {
+
+namespace {
+
+/// Accept --manifest=PATH, "--manifest PATH" (flag + positional), or a
+/// bare positional path.
+std::string manifest_path(const ArgMap& args) {
+  const std::string value = args.get("manifest", "");
+  if (!value.empty() && value != "true") return value;
+  if (!args.positional().empty()) return args.positional().front();
+  throw std::invalid_argument(
+      "reproduce: --manifest=PATH required (e.g. manifests/paper.json)");
+}
+
+std::vector<std::string> split_ids(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Read a whole file; empty optional-style flag via `found`.
+std::string read_file(const std::string& path, bool* found) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    *found = false;
+    return {};
+  }
+  *found = true;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int cmd_reproduce(const ArgMap& args, std::ostream& out, std::ostream& err) {
+  const std::string path = manifest_path(args);
+  const std::string out_dir = args.get("out-dir", "");
+  const std::string index = args.get("index", "");
+  const unsigned threads = args.get_unsigned("threads", 0);
+  const bool list_only = args.get_flag("list");
+  const bool check = args.get_flag("check");
+  const std::vector<std::string> only = split_ids(args.get("section", ""));
+
+  const auto unknown = args.unused();
+  if (!unknown.empty()) {
+    err << "reproduce: unknown option --" << unknown.front() << "\n";
+    return 2;
+  }
+
+  sweep::Manifest manifest = sweep::load_manifest(path);
+  if (!out_dir.empty()) manifest.output_dir = out_dir;
+  if (!index.empty()) manifest.index_path = index;
+
+  if (!only.empty()) {
+    std::vector<sweep::Section> kept;
+    for (const auto& id : only) {
+      bool found = false;
+      for (const auto& section : manifest.sections)
+        if (section.id == id) {
+          kept.push_back(section);
+          found = true;
+        }
+      if (!found)
+        throw std::invalid_argument("reproduce: no section with id \"" + id +
+                                    "\" in " + path);
+    }
+    manifest.sections = std::move(kept);
+  }
+
+  if (list_only) {
+    tables::Table table("Sections of " + manifest.name,
+                        {"id", "kind", "points", "replicates", "cycles"});
+    for (const auto& section : manifest.sections)
+      table.begin_row(section.id)
+          .add_cell(sweep::to_string(section.kind))
+          .add_cell(std::to_string(section.points.size()))
+          .add_cell(std::to_string(section.budget.replicates))
+          .add_cell(std::to_string(section.budget.measure_cycles));
+    table.print(out);
+    return 0;
+  }
+
+  par::ThreadPool pool(threads);
+  const sweep::SweepResult result = sweep::run_sweep(manifest, pool, &err);
+  // The index enumerates every section, so it is only meaningful (and only
+  // checked/written) for a full run.
+  const bool full_run = only.empty();
+  const auto artifacts = sweep::render_book(manifest, result, full_run);
+
+  unsigned drifted = 0;
+  if (check) {
+    for (const auto& artifact : artifacts) {
+      bool found = false;
+      const std::string committed = read_file(artifact.path, &found);
+      if (!found) {
+        err << "reproduce: missing " << artifact.path << "\n";
+        ++drifted;
+      } else if (committed != artifact.content) {
+        err << "reproduce: drift in " << artifact.path
+            << " (regenerate with kswsim reproduce --manifest=" << path
+            << ")\n";
+        ++drifted;
+      }
+    }
+  } else {
+    for (const auto& artifact : artifacts) {
+      const auto parent =
+          std::filesystem::path(artifact.path).parent_path();
+      if (!parent.empty()) std::filesystem::create_directories(parent);
+      std::ofstream file(artifact.path, std::ios::binary);
+      if (!file)
+        throw std::invalid_argument("reproduce: cannot write " +
+                                    artifact.path);
+      file << artifact.content;
+    }
+  }
+
+  tables::Table summary("Reproduction summary (" + manifest.name + ")",
+                        {"section", "points", "gates", "failed"});
+  for (const auto& sr : result.sections)
+    summary.begin_row(sr.section.id)
+        .add_cell(std::to_string(sr.points.size()))
+        .add_cell(std::to_string(sr.cells_gated()))
+        .add_cell(std::to_string(sr.cells_failed()));
+  summary.print(out);
+  out << (check ? "checked " : "wrote ") << artifacts.size() << " artifacts"
+      << (full_run ? "" : " (partial run: index skipped)") << "; "
+      << result.cells_gated() - result.cells_failed() << "/"
+      << result.cells_gated() << " gates passed";
+  if (check && drifted > 0) out << "; " << drifted << " files drifted";
+  out << "\n";
+
+  if (result.cells_failed() > 0) return 3;
+  if (drifted > 0) return 4;
+  return 0;
+}
+
+}  // namespace ksw::cli

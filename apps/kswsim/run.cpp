@@ -29,6 +29,12 @@ commands:
              --obs-wall  (structured run report; see docs/OBSERVABILITY.md)
   calibrate  re-fit the Section IV interpolation constants
              --k=2 --rho=0.5 --stages=8 --cycles=100000 --seed=1
+  reproduce  regenerate the paper-reproduction book from a sweep manifest
+             --manifest=manifests/paper.json --out-dir=docs/reproduction
+             --index=docs/REPRODUCTION.md --threads=0
+             --section=ID[,ID...] --list --check
+             (--check diffs committed pages against a fresh run; see
+              docs/REPRODUCTION.md)
 
 common options:
   --format=table|json|csv   output format (default: table)
@@ -58,6 +64,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "network") return cmd_network(parsed, out, err);
     if (command == "simulate") return cmd_simulate(parsed, out, err);
     if (command == "calibrate") return cmd_calibrate(parsed, out, err);
+    if (command == "reproduce") return cmd_reproduce(parsed, out, err);
     err << "kswsim: unknown command '" << command << "'\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Verify that every relative Markdown link in README.md and docs/ points at
+# a file that exists. External (scheme://) and intra-page (#anchor) links
+# are skipped; a "path#Lnn" anchor is checked against the path part.
+#
+# Usage: scripts/check_links.sh   (from the repository root)
+set -u
+
+fail=0
+files=$(find docs -name '*.md' 2>/dev/null; ls README.md 2>/dev/null)
+
+for file in $files; do
+  dir=$(dirname "$file")
+  # Extract (target) parts of [text](target) links, one per line.
+  targets=$(grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//')
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      *://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN: $file -> $target"
+      fail=1
+    fi
+  done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "link check failed"
+  exit 1
+fi
+echo "all relative links resolve"

@@ -1,6 +1,7 @@
-// Minimal JSON value builder + serializer, for machine-readable output
-// from the kswsim CLI (no external dependencies; write-only — this
-// library never needs to parse JSON).
+// Minimal JSON value builder, serializer, and parser (no external
+// dependencies). Originally write-only for machine-readable kswsim
+// output; the sweep-manifest subsystem added a strict recursive-descent
+// reader (Json::parse) plus typed accessors.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +29,11 @@ class Json {
   static Json array();
   static Json object();
 
+  /// Parse a complete JSON document. Strict: rejects trailing content,
+  /// comments, duplicate object keys, and malformed literals. Throws
+  /// std::invalid_argument with a character offset on error.
+  static Json parse(const std::string& text);
+
   /// Append to an array (converts a null value to an array first).
   Json& push_back(Json v);
 
@@ -35,9 +41,31 @@ class Json {
   Json& set(const std::string& key, Json v);
 
   [[nodiscard]] bool is_null() const noexcept;
+  [[nodiscard]] bool is_bool() const noexcept;
+  [[nodiscard]] bool is_number() const noexcept;
+  [[nodiscard]] bool is_string() const noexcept;
   [[nodiscard]] bool is_array() const noexcept;
   [[nodiscard]] bool is_object() const noexcept;
   [[nodiscard]] std::size_t size() const;
+
+  // Typed readers; each throws std::invalid_argument on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  /// as_double, but requires an integral value within int64 range.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Object member lookup. `contains` is false for non-objects; `at`
+  /// throws std::invalid_argument when the key is missing. `get` returns
+  /// null for a missing key.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] Json get(const std::string& key) const;
+  /// Object keys in insertion order (empty for non-objects).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Array element access; throws std::invalid_argument out of range.
+  [[nodiscard]] const Json& at(std::size_t index) const;
 
   /// Serialize. `indent` > 0 pretty-prints with that many spaces.
   void write(std::ostream& os, int indent = 0) const;

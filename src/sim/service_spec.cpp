@@ -92,4 +92,61 @@ bool ServiceSpec::is_unit() const noexcept {
   return kind_ == Kind::kDeterministic && m_ == 1;
 }
 
+namespace {
+
+unsigned parse_size(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  const long v = std::stol(text, &pos);
+  if (pos != text.size() || v <= 0)
+    throw std::invalid_argument(std::string(what) +
+                                ": bad service size: " + text);
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+ServiceSpec ServiceSpec::parse(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos)
+    throw std::invalid_argument(
+        "service spec must be det:M, geo:MU, or multi:M1@P1,... ; got " +
+        text);
+  const std::string kind = text.substr(0, colon);
+  const std::string body = text.substr(colon + 1);
+
+  if (kind == "det") return deterministic(parse_size(body, "det"));
+
+  if (kind == "geo") {
+    std::size_t pos = 0;
+    const double mu = std::stod(body, &pos);
+    if (pos != body.size())
+      throw std::invalid_argument("geo: bad mu: " + body);
+    return geometric(mu);
+  }
+
+  if (kind == "multi") {
+    std::vector<core::MultiSizeService::Size> sizes;
+    std::size_t start = 0;
+    while (start <= body.size()) {
+      const auto comma = body.find(',', start);
+      const std::string item =
+          body.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      const auto at = item.find('@');
+      if (at == std::string::npos)
+        throw std::invalid_argument("multi: expected M@P, got " + item);
+      std::size_t pos = 0;
+      const double prob = std::stod(item.substr(at + 1), &pos);
+      if (pos != item.size() - at - 1)
+        throw std::invalid_argument("multi: bad probability in " + item);
+      sizes.push_back({parse_size(item.substr(0, at), "multi"), prob});
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return multi_size(std::move(sizes));
+  }
+
+  throw std::invalid_argument("unknown service kind: " + kind);
+}
+
 }  // namespace ksw::sim

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/models.hpp"
@@ -25,6 +26,11 @@ class ServiceSpec {
 
   /// Geometric on {1,2,...} with success probability mu.
   static ServiceSpec geometric(double mu);
+
+  /// Parse the textual spec syntax shared by the CLI and sweep manifests:
+  /// "det:M", "geo:MU", or "multi:M1@P1,M2@P2,...". Throws
+  /// std::invalid_argument on syntax or validation errors.
+  static ServiceSpec parse(const std::string& text);
 
   /// Sample one service time.
   [[nodiscard]] std::uint32_t sample(rng::Xoshiro256& gen) const;

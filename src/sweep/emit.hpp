@@ -1,0 +1,45 @@
+// Renders sweep results into the committed reproduction book: one
+// Markdown page + one CSV per section under the manifest's output_dir,
+// plus the index (docs/REPRODUCTION.md).
+//
+// Every byte here must be a pure function of the SweepResult — no
+// timestamps, hostnames, or wall-clock data — so regeneration is
+// bit-identical across machines and thread counts, and `kswsim reproduce
+// --check` can diff committed pages against a fresh run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "sweep/runner.hpp"
+
+namespace ksw::sweep {
+
+/// One generated file, as a path (relative to the working directory)
+/// plus its full content.
+struct Artifact {
+  std::string path;
+  std::string content;
+};
+
+/// Markdown page for one section.
+[[nodiscard]] std::string section_markdown(const SectionResult& result,
+                                           const Manifest& manifest);
+
+/// Flat CSV of every cell of one section.
+[[nodiscard]] io::CsvWriter section_csv(const SectionResult& result);
+
+/// The book index (REPRODUCTION.md): summary table with per-section gate
+/// counts and links into output_dir.
+[[nodiscard]] std::string index_markdown(const Manifest& manifest,
+                                         const SweepResult& result);
+
+/// All artifacts of a run: <output_dir>/<id>.md and .csv per section,
+/// plus the index when `include_index` (omit it when only a subset of
+/// sections was run).
+[[nodiscard]] std::vector<Artifact> render_book(const Manifest& manifest,
+                                                const SweepResult& result,
+                                                bool include_index = true);
+
+}  // namespace ksw::sweep

@@ -1,0 +1,293 @@
+#include "sweep/runner.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "core/total_delay.hpp"
+#include "sim/first_stage_sim.hpp"
+#include "sim/replicate.hpp"
+#include "stats/confidence.hpp"
+
+namespace ksw::sweep {
+
+void Cell::judge(const Tolerance& tol) {
+  const double diff = std::abs(simulated - analytic);
+  rel_error = diff / std::max(std::abs(analytic), 1e-12);
+  if (!gated) {
+    pass = true;
+    return;
+  }
+  const double rel = mean_like ? tol.mean_rel : tol.var_rel;
+  pass = diff <= tol.abs + rel * std::abs(analytic) + ci_half;
+}
+
+bool PointResult::pass() const {
+  for (const Cell& cell : cells)
+    if (cell.gated && !cell.pass) return false;
+  return true;
+}
+
+unsigned SectionResult::cells_gated() const {
+  unsigned n = 0;
+  for (const PointResult& pt : points)
+    for (const Cell& cell : pt.cells) n += cell.gated ? 1 : 0;
+  return n;
+}
+
+unsigned SectionResult::cells_failed() const {
+  unsigned n = 0;
+  for (const PointResult& pt : points)
+    for (const Cell& cell : pt.cells) n += (cell.gated && !cell.pass) ? 1 : 0;
+  return n;
+}
+
+unsigned SweepResult::cells_gated() const {
+  unsigned n = 0;
+  for (const SectionResult& s : sections) n += s.cells_gated();
+  return n;
+}
+
+unsigned SweepResult::cells_failed() const {
+  unsigned n = 0;
+  for (const SectionResult& s : sections) n += s.cells_failed();
+  return n;
+}
+
+namespace {
+
+/// The analytic queue model a grid point describes (mirrors the kswsim
+/// analyze command's construction).
+core::QueueSpec analytic_queue(const Point& pt) {
+  const unsigned s = pt.s != 0 ? pt.s : pt.k;
+  const sim::ServiceSpec service = sim::ServiceSpec::parse(pt.service);
+  std::shared_ptr<const core::ArrivalModel> arrivals;
+  if (pt.q > 0.0)
+    arrivals = core::make_nonuniform_arrivals(pt.k, pt.p, pt.q, pt.bulk);
+  else
+    arrivals = core::make_bulk_arrivals(pt.k, s, pt.p, pt.bulk);
+  return core::QueueSpec{std::move(arrivals), service.to_model()};
+}
+
+core::NetworkTrafficSpec analytic_traffic(const Point& pt) {
+  core::NetworkTrafficSpec spec;
+  spec.k = pt.k;
+  spec.p = pt.p;
+  spec.bulk = pt.bulk;
+  spec.q = pt.q;
+  spec.service = sim::ServiceSpec::parse(pt.service).to_model();
+  return spec;
+}
+
+/// CI half-width over per-replicate scalar statistics.
+double half_width(const std::vector<double>& samples, double level) {
+  return stats::replicate_interval(samples, level).half_width;
+}
+
+Cell make_cell(std::string metric, double analytic, double simulated,
+               double ci_half, bool mean_like, bool gated,
+               const Tolerance& tol) {
+  Cell cell;
+  cell.metric = std::move(metric);
+  cell.analytic = analytic;
+  cell.simulated = simulated;
+  cell.ci_half = ci_half;
+  cell.mean_like = mean_like;
+  cell.gated = gated;
+  cell.judge(tol);
+  return cell;
+}
+
+PointResult run_first_stage_point(const Section& section, const Point& pt,
+                                  par::ThreadPool& pool) {
+  sim::FirstStageConfig cfg;
+  cfg.k = pt.k;
+  cfg.s = pt.s != 0 ? pt.s : pt.k;
+  cfg.p = pt.p;
+  cfg.bulk = pt.bulk;
+  cfg.q = pt.q;
+  cfg.service = sim::ServiceSpec::parse(pt.service);
+  cfg.warmup_cycles = section.budget.effective_warmup();
+  cfg.measure_cycles = section.budget.measure_cycles;
+
+  const unsigned replicates = section.budget.replicates;
+  std::vector<sim::FirstStageResults> parts(replicates);
+  par::parallel_for_chunks(pool, replicates, [&](std::size_t i) {
+    sim::FirstStageConfig rep = cfg;
+    rep.seed = sim::replicate_seed(section.budget.seed,
+                                   static_cast<unsigned>(i));
+    parts[i] = sim::run_first_stage(rep);
+  });
+  sim::FirstStageResults merged = parts[0];
+  std::vector<double> means(replicates), vars(replicates);
+  means[0] = parts[0].waiting.mean();
+  vars[0] = parts[0].waiting.variance();
+  for (unsigned i = 1; i < replicates; ++i) {
+    merged.merge(parts[i]);
+    means[i] = parts[i].waiting.mean();
+    vars[i] = parts[i].waiting.variance();
+  }
+
+  const core::WaitingMoments exact =
+      core::FirstStage(analytic_queue(pt)).moments();
+  const double level = section.budget.ci_level;
+
+  PointResult result;
+  result.point = pt;
+  result.label = pt.label();
+  result.samples = merged.messages;
+  result.cells.push_back(make_cell("E[w]", exact.mean, merged.waiting.mean(),
+                                   half_width(means, level), true, true,
+                                   section.tol));
+  result.cells.push_back(make_cell("Var[w]", exact.variance,
+                                   merged.waiting.variance(),
+                                   half_width(vars, level), false, true,
+                                   section.tol));
+  return result;
+}
+
+/// Shared network-simulation scaffolding for the two network section kinds:
+/// replicate, merge in index order, and hand per-replicate parts back for
+/// CI extraction.
+struct NetworkRun {
+  sim::NetworkResults merged;
+  std::vector<sim::NetworkResults> parts;
+};
+
+NetworkRun run_network_replicates(const Section& section, const Point& pt,
+                                  par::ThreadPool& pool) {
+  sim::NetworkConfig cfg;
+  cfg.k = pt.k;
+  cfg.stages = section.stages;
+  cfg.p = pt.p;
+  cfg.bulk = pt.bulk;
+  cfg.q = pt.q;
+  cfg.service = sim::ServiceSpec::parse(pt.service);
+  cfg.warmup_cycles = section.budget.effective_warmup();
+  cfg.measure_cycles = section.budget.measure_cycles;
+  if (section.kind == SectionKind::kTotalDelay)
+    cfg.total_checkpoints = section.checkpoints;
+
+  NetworkRun run;
+  run.parts.resize(section.budget.replicates);
+  par::parallel_for_chunks(
+      pool, section.budget.replicates, [&](std::size_t i) {
+        sim::NetworkConfig rep = cfg;
+        rep.seed = sim::replicate_seed(section.budget.seed,
+                                       static_cast<unsigned>(i));
+        run.parts[i] = sim::run_network(rep);
+      });
+  run.merged = run.parts[0];
+  for (std::size_t i = 1; i < run.parts.size(); ++i)
+    run.merged.merge(run.parts[i]);
+  return run;
+}
+
+PointResult run_stage_convergence_point(const Section& section,
+                                        const Point& pt,
+                                        par::ThreadPool& pool) {
+  const NetworkRun run = run_network_replicates(section, pt, pool);
+  const core::LaterStages ls(analytic_traffic(pt));
+  const double level = section.budget.ci_level;
+
+  PointResult result;
+  result.point = pt;
+  result.label = pt.label();
+  result.samples = run.merged.packets_delivered;
+  std::vector<double> samples(run.parts.size());
+  for (unsigned stage = 1; stage <= section.stages; ++stage) {
+    for (std::size_t i = 0; i < run.parts.size(); ++i)
+      samples[i] = run.parts[i].stage_wait[stage - 1].mean();
+    result.cells.push_back(make_cell(
+        "stage " + std::to_string(stage) + " E[w]", ls.mean_at_stage(stage),
+        run.merged.stage_wait[stage - 1].mean(), half_width(samples, level),
+        true, true, section.tol));
+  }
+  // Informational: the eq. 11 spatial limit next to the deepest simulated
+  // stage (the sim value keeps converging toward it as stages grow).
+  result.cells.push_back(make_cell(
+      "limit E[w] (eq. 11)", ls.mean_limit(),
+      run.merged.stage_wait[section.stages - 1].mean(), 0.0, true, false,
+      section.tol));
+  return result;
+}
+
+PointResult run_total_delay_point(const Section& section, const Point& pt,
+                                  par::ThreadPool& pool) {
+  const NetworkRun run = run_network_replicates(section, pt, pool);
+  const core::LaterStages ls(analytic_traffic(pt));
+  const double level = section.budget.ci_level;
+
+  PointResult result;
+  result.point = pt;
+  result.label = pt.label();
+  result.samples = run.merged.packets_delivered;
+  std::vector<double> samples(run.parts.size());
+  for (std::size_t c = 0; c < section.checkpoints.size(); ++c) {
+    const unsigned n = section.checkpoints[c];
+    const core::TotalDelay td(ls, n);
+    const std::string prefix = "n=" + std::to_string(n) + " ";
+
+    for (std::size_t i = 0; i < run.parts.size(); ++i)
+      samples[i] = run.parts[i].total_wait[c].mean();
+    result.cells.push_back(make_cell(
+        prefix + "E[total]", td.mean_total(), run.merged.total_wait[c].mean(),
+        half_width(samples, level), true, true, section.tol));
+
+    for (std::size_t i = 0; i < run.parts.size(); ++i)
+      samples[i] = run.parts[i].total_wait[c].variance();
+    result.cells.push_back(make_cell(prefix + "Var[total]",
+                                     td.variance_total(),
+                                     run.merged.total_wait[c].variance(),
+                                     half_width(samples, level), false, true,
+                                     section.tol));
+
+    // Gamma-fit tail check (informational: the empirical quantile is
+    // integer-valued, so a pass/fail gate would flap on the rounding).
+    result.cells.push_back(make_cell(
+        prefix + "p95", td.gamma_approximation().quantile(0.95),
+        static_cast<double>(run.merged.total_wait[c].quantile(0.95)), 0.0,
+        true, false, section.tol));
+  }
+  return result;
+}
+
+}  // namespace
+
+SectionResult run_section(const Section& section, par::ThreadPool& pool) {
+  SectionResult result;
+  result.section = section;
+  for (const Point& pt : section.points) {
+    switch (section.kind) {
+      case SectionKind::kFirstStage:
+        result.points.push_back(run_first_stage_point(section, pt, pool));
+        break;
+      case SectionKind::kStageConvergence:
+        result.points.push_back(
+            run_stage_convergence_point(section, pt, pool));
+        break;
+      case SectionKind::kTotalDelay:
+        result.points.push_back(run_total_delay_point(section, pt, pool));
+        break;
+    }
+  }
+  return result;
+}
+
+SweepResult run_sweep(const Manifest& manifest, par::ThreadPool& pool,
+                      std::ostream* progress) {
+  SweepResult result;
+  for (std::size_t i = 0; i < manifest.sections.size(); ++i) {
+    const Section& section = manifest.sections[i];
+    result.sections.push_back(run_section(section, pool));
+    if (progress != nullptr) {
+      const SectionResult& done = result.sections.back();
+      *progress << "[" << (i + 1) << "/" << manifest.sections.size() << "] "
+                << section.id << ": " << done.points.size() << " points, "
+                << done.cells_gated() << " gates, "
+                << done.cells_failed() << " failed\n";
+    }
+  }
+  return result;
+}
+
+}  // namespace ksw::sweep

@@ -1,0 +1,72 @@
+// Executes a sweep manifest: every grid point of every section, comparing
+// analytic predictions against replicated simulation.
+//
+// Determinism contract (inherited from sim::replicate_*): each replicate's
+// seed depends only on (section seed, replicate index); replicates run on
+// the shared thread pool but are merged and reduced in strict index order,
+// so every number in a SweepResult — point estimates, CI half-widths, gate
+// verdicts — is bit-identical for a fixed manifest at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+#include "sweep/manifest.hpp"
+
+namespace ksw::sweep {
+
+/// One compared quantity (a row cell pair in the generated tables).
+struct Cell {
+  std::string metric;     ///< e.g. "E[w]", "stage 3 E[w]", "n=6 Var[total]"
+  double analytic = 0.0;  ///< model prediction
+  double simulated = 0.0; ///< merged-replicate point estimate
+  double ci_half = 0.0;   ///< CI half-width at the section's ci_level
+  double rel_error = 0.0; ///< |sim - analytic| / max(|analytic|, 1e-12)
+  bool mean_like = true;  ///< gates with mean_rel (else var_rel)
+  bool gated = true;      ///< informational cells carry no pass/fail
+  bool pass = true;
+
+  /// Evaluate the agreement gate against `tol` (sets rel_error and pass).
+  void judge(const Tolerance& tol);
+};
+
+/// All comparisons for one grid point.
+struct PointResult {
+  Point point;
+  std::string label;
+  std::uint64_t samples = 0;  ///< messages/packets measured (all replicates)
+  std::vector<Cell> cells;
+
+  [[nodiscard]] bool pass() const;
+};
+
+struct SectionResult {
+  Section section;
+  std::vector<PointResult> points;
+
+  [[nodiscard]] unsigned cells_gated() const;
+  [[nodiscard]] unsigned cells_failed() const;
+};
+
+struct SweepResult {
+  std::vector<SectionResult> sections;
+
+  [[nodiscard]] unsigned cells_gated() const;
+  [[nodiscard]] unsigned cells_failed() const;
+  [[nodiscard]] bool pass() const { return cells_failed() == 0; }
+};
+
+/// Run one section (exposed for tests and --section filtering).
+[[nodiscard]] SectionResult run_section(const Section& section,
+                                        par::ThreadPool& pool);
+
+/// Run every section of the manifest. `progress`, when non-null, receives
+/// one line per section as it completes.
+[[nodiscard]] SweepResult run_sweep(const Manifest& manifest,
+                                    par::ThreadPool& pool,
+                                    std::ostream* progress = nullptr);
+
+}  // namespace ksw::sweep

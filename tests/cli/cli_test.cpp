@@ -273,6 +273,64 @@ TEST(Simulate, OmegaTopologySelectable) {
   EXPECT_NE(bad.err.find("butterfly|omega"), std::string::npos);
 }
 
+// Guard against README/usage drift: every option the simulate parser
+// accepts must be mentioned in the help text (and thus in README's table,
+// which mirrors it).
+TEST(Usage, MentionsEverySimulateOption) {
+  const auto r = invoke({"simulate", "--help"});
+  ASSERT_EQ(r.code, 0);
+  const char* options[] = {
+      "--k=",         "--stages=",   "--p=",        "--bulk=",
+      "--q=",         "--hotspot=",  "--hotspot-target=",
+      "--topology=",  "--service=",  "--cycles=",   "--warmup=",
+      "--seed=",      "--replicates=", "--threads=",
+      "--buffer-capacity=", "--correlations", "--checkpoints=",
+      "--metrics-out=", "--obs-stride=", "--obs-trace=", "--obs-wall",
+      "--format="};
+  for (const char* opt : options)
+    EXPECT_NE(r.out.find(opt), std::string::npos)
+        << "usage text omits " << opt;
+}
+
+TEST(Reproduce, ListPrintsSectionsWithoutRunning) {
+  const auto r = invoke({"reproduce",
+                         "--manifest=" KSW_MANIFEST_DIR "/paper.json",
+                         "--list"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("uniform"), std::string::npos);
+  EXPECT_NE(r.out.find("total-delay"), std::string::npos);
+  EXPECT_NE(r.out.find("first_stage"), std::string::npos);
+}
+
+TEST(Reproduce, PaperManifestParsesAndSmokeSectionRuns) {
+  // Bare "--manifest PATH" (space-separated) must work too; ISSUE.md's
+  // acceptance command uses that spelling.
+  const auto r = invoke({"reproduce", "--manifest",
+                         KSW_MANIFEST_DIR "/smoke.json", "--list"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("uniform-smoke"), std::string::npos);
+}
+
+TEST(Reproduce, MissingManifestFails) {
+  const auto r = invoke({"reproduce", "--manifest=/no/such.json"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Reproduce, ManifestArgumentIsRequired) {
+  const auto r = invoke({"reproduce"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("manifest"), std::string::npos);
+}
+
+TEST(Reproduce, UnknownSectionIdFails) {
+  const auto r = invoke({"reproduce",
+                         "--manifest=" KSW_MANIFEST_DIR "/smoke.json",
+                         "--section=nope", "--list"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("nope"), std::string::npos);
+}
+
 TEST(Calibrate, RecoversPaperConstantsApproximately) {
   const auto r =
       invoke({"calibrate", "--cycles=40000", "--format=json"});

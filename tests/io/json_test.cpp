@@ -101,5 +101,68 @@ TEST(Json, NestedStructure) {
             "{\"rows\":[{\"i\":0},{\"i\":1},{\"i\":2}]}");
 }
 
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e1").as_double(), -25.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, RoundTripsItsOwnOutput) {
+  Json doc = Json::object();
+  doc.set("name", "sweep").set("n", 3).set("p", 0.125).set("on", true);
+  Json arr = Json::array();
+  arr.push_back(1).push_back("two").push_back(Json());
+  doc.set("items", std::move(arr));
+  const Json back = Json::parse(doc.to_string(2));
+  EXPECT_EQ(back.to_string(), doc.to_string());
+}
+
+TEST(JsonParse, ObjectAccessors) {
+  const Json doc = Json::parse(R"({"a": 1, "b": {"c": [10, 20]}})");
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_FALSE(doc.contains("z"));
+  EXPECT_EQ(doc.at("a").as_int(), 1);
+  EXPECT_EQ(doc.at("b").at("c").at(1).as_int(), 20);
+  EXPECT_TRUE(doc.get("missing").is_null());
+  EXPECT_EQ(doc.keys(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_THROW(doc.at("z"), std::invalid_argument);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\n")").as_string(), "a\"b\\c\n");
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, TypeMismatchesThrow) {
+  EXPECT_THROW(Json::parse("42").as_string(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"x\"").as_double(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("2.5").as_int(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1]").at("k"), std::invalid_argument);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\":1} extra"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{'a':1}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("nul"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("01"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1."), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"bad\\x\""), std::invalid_argument);
+}
+
+TEST(JsonParse, RejectsDuplicateObjectKeys) {
+  EXPECT_THROW(Json::parse(R"({"a": 1, "a": 2})"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ksw::io

@@ -1,0 +1,219 @@
+#include "sweep/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace ksw::sweep {
+namespace {
+
+// Minimal valid manifest with one section; `extra` is spliced into the
+// section object and `settings` into the top level, so each test mutates
+// exactly the clause under scrutiny.
+std::string doc(const std::string& section_body,
+                const std::string& top_extra = "") {
+  return std::string("{\"schema\":\"ksw.sweep/v1\",\"name\":\"t\","
+                     "\"title\":\"T\"") +
+         top_extra + ",\"sections\":[" + section_body + "]}";
+}
+
+std::string section(const std::string& extra = "") {
+  return std::string("{\"id\":\"sec\",\"title\":\"S\","
+                     "\"kind\":\"first_stage\","
+                     "\"grid\":{\"axes\":{\"p\":[0.25,0.5]}}") +
+         extra + "}";
+}
+
+Manifest parse(const std::string& text) {
+  return parse_manifest(io::Json::parse(text));
+}
+
+TEST(Manifest, ParsesMinimalDocument) {
+  const Manifest m = parse(doc(section()));
+  EXPECT_EQ(m.name, "t");
+  ASSERT_EQ(m.sections.size(), 1u);
+  EXPECT_EQ(m.sections[0].id, "sec");
+  EXPECT_EQ(m.sections[0].kind, SectionKind::kFirstStage);
+  ASSERT_EQ(m.sections[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.sections[0].points[0].p, 0.25);
+  EXPECT_DOUBLE_EQ(m.sections[0].points[1].p, 0.5);
+}
+
+TEST(Manifest, CartesianAxesLaterAxesVaryFastest) {
+  const Manifest m = parse(doc(
+      R"({"id":"g","title":"G","kind":"first_stage",
+          "grid":{"axes":{"k":[2,4],"p":[0.2,0.8]}}})"));
+  const auto& pts = m.sections[0].points;
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0].k, 2u);
+  EXPECT_DOUBLE_EQ(pts[0].p, 0.2);
+  EXPECT_DOUBLE_EQ(pts[1].p, 0.8);
+  EXPECT_EQ(pts[2].k, 4u);
+  EXPECT_DOUBLE_EQ(pts[2].p, 0.2);
+}
+
+TEST(Manifest, ExplicitPointsAppendAfterAxes) {
+  const Manifest m = parse(doc(
+      R"({"id":"g","title":"G","kind":"first_stage",
+          "grid":{"axes":{"p":[0.2]},"points":[{"k":4,"p":0.5}]}})"));
+  const auto& pts = m.sections[0].points;
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[1].k, 4u);
+}
+
+TEST(Manifest, SettingsMergeDefaultsThenSection) {
+  const Manifest m = parse(doc(
+      section(R"(,"replicates":6,"mean_rel_tol":0.2)"),
+      R"(,"defaults":{"replicates":3,"measure_cycles":5000,"seed":9})"));
+  EXPECT_EQ(m.defaults.replicates, 3u);
+  EXPECT_EQ(m.sections[0].budget.replicates, 6u);
+  EXPECT_EQ(m.sections[0].budget.measure_cycles, 5000);
+  EXPECT_EQ(m.sections[0].budget.seed, 9u);
+  EXPECT_DOUBLE_EQ(m.sections[0].tol.mean_rel, 0.2);
+}
+
+TEST(Manifest, WarmupDefaultsToTenthOfMeasure) {
+  RunBudget b;
+  b.measure_cycles = 5000;
+  EXPECT_EQ(b.effective_warmup(), 500);
+  b.warmup_cycles = 123;
+  EXPECT_EQ(b.effective_warmup(), 123);
+}
+
+TEST(Manifest, PointLabelListsOnlyNonDefaults) {
+  Point pt;
+  pt.k = 4;
+  pt.p = 0.25;
+  EXPECT_EQ(pt.label(), "k=4 p=0.25");
+  pt.bulk = 2;
+  pt.service = "geo:0.5";
+  EXPECT_EQ(pt.label(), "k=4 p=0.25 b=2 geo:0.5");
+}
+
+TEST(Manifest, RejectsWrongSchema) {
+  EXPECT_THROW(parse("{\"schema\":\"ksw.sweep/v2\",\"name\":\"t\","
+                     "\"title\":\"T\",\"sections\":[" + section() + "]}"),
+               std::invalid_argument);
+}
+
+TEST(Manifest, RejectsUnknownKeysEverywhere) {
+  EXPECT_THROW(parse(doc(section(), R"(,"tpyo":1)")),
+               std::invalid_argument);
+  EXPECT_THROW(parse(doc(section(R"(,"tpyo":1)"))), std::invalid_argument);
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"axes":{"p":[0.2]},"tpyo":1}})")),
+               std::invalid_argument);
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"points":[{"p":0.2,"tpyo":1}]}})")),
+               std::invalid_argument);
+}
+
+TEST(Manifest, RejectsBadGrids) {
+  // Empty grid: no axes, no points.
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{}})")),
+               std::invalid_argument);
+  // Axis with an empty value list produces no points.
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"axes":{"p":[]}}})")),
+               std::invalid_argument);
+  // Out-of-range parameter values.
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"points":[{"p":1.5}]}})")),
+               std::invalid_argument);
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"points":[{"q":1.0}]}})")),
+               std::invalid_argument);
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"points":[{"k":0}]}})")),
+               std::invalid_argument);
+  // Malformed service specs are validated eagerly at parse time.
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"points":[{"service":"det:0"}]}})")),
+               std::invalid_argument);
+}
+
+TEST(Manifest, RejectsDuplicatePoints) {
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"points":[{"p":0.5},{"p":0.5}]}})")),
+               std::invalid_argument);
+  // A point duplicated between the axes expansion and the explicit list.
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"axes":{"p":[0.5]},"points":[{"p":0.5}]}})")),
+               std::invalid_argument);
+}
+
+TEST(Manifest, RejectsDuplicateSectionIds) {
+  EXPECT_THROW(parse(doc(section() + "," + section())),
+               std::invalid_argument);
+}
+
+TEST(Manifest, RejectsBadSectionIds) {
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"Bad_Id","title":"G","kind":"first_stage",
+                       "grid":{"axes":{"p":[0.2]}}})")),
+               std::invalid_argument);
+}
+
+TEST(Manifest, RejectsBadCheckpoints) {
+  const char* base =
+      R"({"id":"g","title":"G","kind":"total_delay","stages":6,
+          "checkpoints":%s,"grid":{"axes":{"p":[0.2]}}})";
+  const auto with = [&](const char* cps) {
+    std::string s = base;
+    s.replace(s.find("%s"), 2, cps);
+    return doc(s);
+  };
+  EXPECT_THROW(parse(with("[3,3]")), std::invalid_argument);
+  EXPECT_THROW(parse(with("[6,3]")), std::invalid_argument);
+  EXPECT_THROW(parse(with("[3,9]")), std::invalid_argument);
+  EXPECT_NO_THROW(parse(with("[3,6]")));
+}
+
+TEST(Manifest, TotalDelayDefaultsCheckpointToFinalStage) {
+  const Manifest m = parse(doc(
+      R"({"id":"g","title":"G","kind":"total_delay","stages":5,
+          "grid":{"axes":{"p":[0.2]}}})"));
+  ASSERT_EQ(m.sections[0].checkpoints.size(), 1u);
+  EXPECT_EQ(m.sections[0].checkpoints[0], 5u);
+}
+
+TEST(Manifest, NetworkSectionsRequireSquareSwitches) {
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"stage_convergence",
+                       "grid":{"points":[{"k":4,"s":2}]}})")),
+               std::invalid_argument);
+}
+
+TEST(Manifest, RejectsTinyReplicateCounts) {
+  EXPECT_THROW(parse(doc(section(R"(,"replicates":1)"))),
+               std::invalid_argument);
+}
+
+TEST(Manifest, KindNamesRoundTrip) {
+  EXPECT_STREQ(to_string(SectionKind::kFirstStage), "first_stage");
+  EXPECT_STREQ(to_string(SectionKind::kStageConvergence),
+               "stage_convergence");
+  EXPECT_STREQ(to_string(SectionKind::kTotalDelay), "total_delay");
+}
+
+TEST(Manifest, LoadManifestReportsMissingFile) {
+  EXPECT_THROW(load_manifest("/nonexistent/path.json"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ksw::sweep

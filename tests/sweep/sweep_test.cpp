@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "io/json.hpp"
+#include "par/thread_pool.hpp"
+#include "sweep/emit.hpp"
+#include "sweep/manifest.hpp"
+#include "sweep/runner.hpp"
+
+namespace ksw::sweep {
+namespace {
+
+// A deliberately small manifest covering all three section kinds, sized so
+// the whole suite stays fast while still exercising every code path the
+// paper manifest uses.
+Manifest tiny_manifest() {
+  const char* text = R"({
+    "schema": "ksw.sweep/v1",
+    "name": "tiny",
+    "title": "Tiny test book",
+    "output_dir": "out",
+    "index_path": "out/INDEX.md",
+    "defaults": {
+      "replicates": 3,
+      "measure_cycles": 4000,
+      "warmup_cycles": 500,
+      "seed": 11,
+      "mean_rel_tol": 0.2,
+      "var_rel_tol": 0.5,
+      "abs_tol": 0.1
+    },
+    "sections": [
+      { "id": "first", "title": "First stage", "kind": "first_stage",
+        "grid": { "axes": { "p": [0.5] } } },
+      { "id": "stages", "title": "Stages", "kind": "stage_convergence",
+        "stages": 3, "measure_cycles": 3000,
+        "grid": { "points": [{ "p": 0.5 }] } },
+      { "id": "totals", "title": "Totals", "kind": "total_delay",
+        "stages": 3, "checkpoints": [2, 3], "measure_cycles": 3000,
+        "grid": { "points": [{ "p": 0.5 }] } }
+    ]
+  })";
+  return parse_manifest(io::Json::parse(text));
+}
+
+std::string book_bytes(const Manifest& m, unsigned threads) {
+  par::ThreadPool pool(threads);
+  const SweepResult result = run_sweep(m, pool);
+  std::string all;
+  for (const Artifact& a : render_book(m, result)) {
+    all += a.path;
+    all += '\0';
+    all += a.content;
+    all += '\0';
+  }
+  return all;
+}
+
+TEST(Runner, FirstStageAgreesWithTheorem1) {
+  const Manifest m = tiny_manifest();
+  par::ThreadPool pool(2);
+  const SectionResult r = run_section(m.sections[0], pool);
+  ASSERT_EQ(r.points.size(), 1u);
+  const PointResult& pt = r.points[0];
+  ASSERT_EQ(pt.cells.size(), 2u);
+  // k=2, p=0.5, unit service: E[w] = Var[w] = 1/4 (eqs. 6-7).
+  EXPECT_DOUBLE_EQ(pt.cells[0].analytic, 0.25);
+  EXPECT_DOUBLE_EQ(pt.cells[1].analytic, 0.25);
+  EXPECT_NEAR(pt.cells[0].simulated, 0.25, 0.05);
+  EXPECT_GT(pt.cells[0].ci_half, 0.0);
+  EXPECT_TRUE(pt.pass());
+  EXPECT_GT(pt.samples, 0u);
+}
+
+TEST(Runner, StageConvergenceEmitsOneGatePerStagePlusLimit) {
+  const Manifest m = tiny_manifest();
+  par::ThreadPool pool(2);
+  const SectionResult r = run_section(m.sections[1], pool);
+  ASSERT_EQ(r.points.size(), 1u);
+  const auto& cells = r.points[0].cells;
+  ASSERT_EQ(cells.size(), 4u);  // stages 1..3 + ungated eq. 11 limit
+  EXPECT_EQ(cells[0].metric, "stage 1 E[w]");
+  EXPECT_TRUE(cells[0].gated);
+  EXPECT_FALSE(cells[3].gated);
+  EXPECT_EQ(r.cells_gated(), 3u);
+}
+
+TEST(Runner, TotalDelayEmitsCheckpointCells) {
+  const Manifest m = tiny_manifest();
+  par::ThreadPool pool(2);
+  const SectionResult r = run_section(m.sections[2], pool);
+  ASSERT_EQ(r.points.size(), 1u);
+  const auto& cells = r.points[0].cells;
+  ASSERT_EQ(cells.size(), 6u);  // 2 checkpoints x (mean, var, p95)
+  EXPECT_EQ(cells[0].metric, "n=2 E[total]");
+  EXPECT_EQ(cells[1].metric, "n=2 Var[total]");
+  EXPECT_FALSE(cells[2].gated);  // p95 is informational
+  EXPECT_FALSE(cells[1].mean_like);
+}
+
+TEST(Runner, GateWidensWithConfidenceInterval) {
+  Tolerance tol;
+  tol.mean_rel = 0.0;
+  tol.var_rel = 0.0;
+  tol.abs = 0.0;
+  Cell cell;
+  cell.analytic = 1.0;
+  cell.simulated = 1.05;
+  cell.ci_half = 0.1;
+  cell.judge(tol);
+  EXPECT_TRUE(cell.pass);
+  cell.ci_half = 0.01;
+  cell.judge(tol);
+  EXPECT_FALSE(cell.pass);
+  EXPECT_NEAR(cell.rel_error, 0.05, 1e-12);
+}
+
+TEST(Emit, SectionPageShowsGateVerdicts) {
+  const Manifest m = tiny_manifest();
+  par::ThreadPool pool(2);
+  SweepResult result;
+  result.sections.push_back(run_section(m.sections[0], pool));
+  const std::string md = section_markdown(result.sections[0], m);
+  EXPECT_NE(md.find("# First stage"), std::string::npos);
+  EXPECT_NE(md.find("| E[w] |"), std::string::npos);
+  EXPECT_NE(md.find("±"), std::string::npos);
+  EXPECT_NE(md.find("Gates:"), std::string::npos);
+  const std::string csv = section_csv(result.sections[0]).to_string();
+  EXPECT_NE(csv.find("section,point,metric,analytic,simulated"),
+            std::string::npos);
+}
+
+TEST(Emit, IndexLinksEverySection) {
+  const Manifest m = tiny_manifest();
+  par::ThreadPool pool(2);
+  const SweepResult result = run_sweep(m, pool);
+  const std::string idx = index_markdown(m, result);
+  EXPECT_NE(idx.find("first.md"), std::string::npos);
+  EXPECT_NE(idx.find("stages.csv"), std::string::npos);
+  EXPECT_NE(idx.find("manifests/tiny.json"), std::string::npos);
+  const auto book = render_book(m, result);
+  ASSERT_EQ(book.size(), 7u);  // 3 x (md + csv) + index
+  EXPECT_EQ(book.back().path, "out/INDEX.md");
+}
+
+TEST(Emit, BookIsByteIdenticalAcrossThreadCounts) {
+  const Manifest m = tiny_manifest();
+  const std::string one = book_bytes(m, 1);
+  const std::string two = book_bytes(m, 2);
+  const std::string eight = book_bytes(m, 8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Emit, NoWallClockLeaksIntoArtifacts) {
+  const Manifest m = tiny_manifest();
+  par::ThreadPool pool(2);
+  const SweepResult result = run_sweep(m, pool);
+  for (const Artifact& a : render_book(m, result)) {
+    EXPECT_EQ(a.content.find("wall"), std::string::npos) << a.path;
+    EXPECT_EQ(a.content.find("date"), std::string::npos) << a.path;
+  }
+}
+
+TEST(Runner, ProgressStreamReportsSections) {
+  const Manifest m = tiny_manifest();
+  par::ThreadPool pool(2);
+  std::ostringstream progress;
+  const SweepResult result = run_sweep(m, pool, &progress);
+  EXPECT_TRUE(result.pass());
+  EXPECT_NE(progress.str().find("[1/3] first"), std::string::npos);
+  EXPECT_NE(progress.str().find("[3/3] totals"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ksw::sweep
