@@ -1,6 +1,7 @@
 #include <stdexcept>
 
 #include "kswsim/cli.hpp"
+#include "support/error.hpp"
 
 namespace ksw::cli {
 
@@ -12,12 +13,12 @@ ArgMap ArgMap::parse(const std::vector<std::string>& args) {
       if (eq == std::string::npos) {
         const std::string key = arg.substr(2);
         if (key.empty())
-          throw std::invalid_argument("malformed option: " + arg);
+          throw usage_error("malformed option: " + arg);
         out.values_[key] = "true";
       } else {
         const std::string key = arg.substr(2, eq - 2);
         if (key.empty())
-          throw std::invalid_argument("malformed option: " + arg);
+          throw usage_error("malformed option: " + arg);
         out.values_[key] = arg.substr(eq + 1);
       }
     } else {
@@ -46,9 +47,14 @@ double ArgMap::get_double(const std::string& key, double fallback) const {
   if (it == values_.end()) return fallback;
   read_[key] = true;
   std::size_t pos = 0;
-  const double v = std::stod(it->second, &pos);
+  double v = 0.0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    throw usage_error("--" + key + ": not a number: " + it->second);
+  }
   if (pos != it->second.size())
-    throw std::invalid_argument("--" + key + ": not a number: " +
+    throw usage_error("--" + key + ": not a number: " +
                                 it->second);
   return v;
 }
@@ -59,9 +65,14 @@ std::int64_t ArgMap::get_int(const std::string& key,
   if (it == values_.end()) return fallback;
   read_[key] = true;
   std::size_t pos = 0;
-  const long long v = std::stoll(it->second, &pos);
+  long long v = 0;
+  try {
+    v = std::stoll(it->second, &pos);
+  } catch (const std::exception&) {
+    throw usage_error("--" + key + ": not an integer: " + it->second);
+  }
   if (pos != it->second.size())
-    throw std::invalid_argument("--" + key + ": not an integer: " +
+    throw usage_error("--" + key + ": not an integer: " +
                                 it->second);
   return v;
 }
@@ -70,7 +81,7 @@ unsigned ArgMap::get_unsigned(const std::string& key,
                               unsigned fallback) const {
   const std::int64_t v = get_int(key, static_cast<std::int64_t>(fallback));
   if (v < 0 || v > 0xffffffffll)
-    throw std::invalid_argument("--" + key + ": out of range");
+    throw usage_error("--" + key + ": out of range");
   return static_cast<unsigned>(v);
 }
 
@@ -78,7 +89,7 @@ bool ArgMap::get_flag(const std::string& key) const {
   const std::string v = get(key, "false");
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
-  throw std::invalid_argument("--" + key + ": not a boolean: " + v);
+  throw usage_error("--" + key + ": not a boolean: " + v);
 }
 
 std::vector<std::string> ArgMap::unused() const {
@@ -93,7 +104,7 @@ Format parse_format(const ArgMap& args) {
   if (fmt == "table") return Format::kTable;
   if (fmt == "json") return Format::kJson;
   if (fmt == "csv") return Format::kCsv;
-  throw std::invalid_argument("--format: expected table|json|csv, got " +
+  throw usage_error("--format: expected table|json|csv, got " +
                               fmt);
 }
 

@@ -10,6 +10,7 @@
 #include "io/csv.hpp"
 #include "io/json.hpp"
 #include "kswsim/cli.hpp"
+#include "support/error.hpp"
 #include "tables/table.hpp"
 
 namespace ksw::cli {
@@ -28,7 +29,7 @@ core::QueueSpec build_queue(const ArgMap& args) {
   std::shared_ptr<const core::ArrivalModel> arrivals;
   if (q > 0.0) {
     if (k != s)
-      throw std::invalid_argument(
+      throw usage_error(
           "analyze: favorite-output traffic (--q) requires k == s");
     arrivals = core::make_nonuniform_arrivals(k, p, q, bulk);
   } else {

@@ -11,6 +11,7 @@
 #include "io/csv.hpp"
 #include "io/json.hpp"
 #include "kswsim/cli.hpp"
+#include "support/error.hpp"
 #include "tables/table.hpp"
 
 namespace ksw::cli {
@@ -25,7 +26,7 @@ std::vector<double> parse_quantiles(const std::string& text) {
     std::size_t pos = 0;
     const double v = std::stod(item, &pos);
     if (pos != item.size() || v <= 0.0 || v >= 1.0)
-      throw std::invalid_argument("--quantiles: bad value " + item);
+      throw usage_error("--quantiles: bad value " + item);
     out.push_back(v);
   }
   return out;

@@ -4,20 +4,36 @@
 //   kswsim reproduce --manifest=manifests/paper.json
 //                    [--out-dir=DIR] [--index=FILE] [--threads=T]
 //                    [--section=ID[,ID...]] [--list] [--check]
+//                    [--resume] [--checkpoint=FILE] [--point-timeout=MS]
+//                    [--fault-plan=FILE]
 //
 // Default mode runs every section (analytic model vs replicated
 // simulation at each grid point), writes <out-dir>/<id>.md + .csv per
-// section and the index, prints a gate summary, and exits 3 if any
-// agreement gate failed. --check regenerates in memory and compares
-// against the committed files instead of writing: exit 4 on drift.
-// Output is bit-identical for a fixed manifest at any --threads.
+// section and the index (atomically: temp + fsync + rename), prints a
+// gate summary, and exits 3 if any agreement gate failed. --check
+// regenerates in memory and compares against the committed files instead
+// of writing: exit 4 on drift. Output is bit-identical for a fixed
+// manifest at any --threads.
+//
+// Resilience (see docs/ROBUSTNESS.md): full write-mode runs journal each
+// completed grid point to a checkpoint file; after a kill (SIGINT/SIGTERM
+// exit 130) `--resume` replays journaled points bit-exactly and computes
+// only the rest, producing a book byte-identical to an uninterrupted run.
+// A point that fails or exceeds --point-timeout is marked degraded and
+// the sweep continues (exit 7). --fault-plan arms deterministic fault
+// sites for testing.
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "fault/plan.hpp"
 #include "kswsim/cli.hpp"
+#include "par/cancel.hpp"
 #include "par/thread_pool.hpp"
+#include "support/error.hpp"
+#include "sweep/checkpoint.hpp"
 #include "sweep/emit.hpp"
 #include "sweep/manifest.hpp"
 #include "sweep/runner.hpp"
@@ -33,7 +49,7 @@ std::string manifest_path(const ArgMap& args) {
   const std::string value = args.get("manifest", "");
   if (!value.empty() && value != "true") return value;
   if (!args.positional().empty()) return args.positional().front();
-  throw std::invalid_argument(
+  throw usage_error(
       "reproduce: --manifest=PATH required (e.g. manifests/paper.json)");
 }
 
@@ -68,14 +84,32 @@ int cmd_reproduce(const ArgMap& args, std::ostream& out, std::ostream& err) {
   const unsigned threads = args.get_unsigned("threads", 0);
   const bool list_only = args.get_flag("list");
   const bool check = args.get_flag("check");
+  const bool resume = args.get_flag("resume");
+  const std::int64_t point_timeout = args.get_int("point-timeout", 0);
+  const std::string fault_plan = args.get("fault-plan", "");
+  std::string checkpoint_path = args.get("checkpoint", "");
   const std::vector<std::string> only = split_ids(args.get("section", ""));
 
   const auto unknown = args.unused();
-  if (!unknown.empty()) {
-    err << "reproduce: unknown option --" << unknown.front() << "\n";
-    return 2;
-  }
+  if (!unknown.empty())
+    throw usage_error("reproduce: unknown option --" + unknown.front());
+  if (point_timeout < 0)
+    throw usage_error("reproduce: --point-timeout must be >= 0 ms");
+  if (resume && check)
+    throw usage_error(
+        "reproduce: --resume and --check are mutually exclusive (a check "
+        "run writes nothing, so there is nothing to resume)");
+  if (resume && !only.empty())
+    throw usage_error(
+        "reproduce: --resume requires a full run (drop --section; the "
+        "journal indexes the manifest's complete grid)");
 
+  if (!fault_plan.empty()) fault::load_plan(fault_plan);
+
+  bool manifest_found = false;
+  const std::string manifest_text = read_file(path, &manifest_found);
+  if (!manifest_found)
+    throw io_error("reproduce: cannot open manifest " + path);
   sweep::Manifest manifest = sweep::load_manifest(path);
   if (!out_dir.empty()) manifest.output_dir = out_dir;
   if (!index.empty()) manifest.index_path = index;
@@ -90,8 +124,8 @@ int cmd_reproduce(const ArgMap& args, std::ostream& out, std::ostream& err) {
           found = true;
         }
       if (!found)
-        throw std::invalid_argument("reproduce: no section with id \"" + id +
-                                    "\" in " + path);
+        throw usage_error("reproduce: no section with id \"" + id + "\" in " +
+                          path);
     }
     manifest.sections = std::move(kept);
   }
@@ -109,11 +143,50 @@ int cmd_reproduce(const ArgMap& args, std::ostream& out, std::ostream& err) {
     return 0;
   }
 
+  // The journal lives next to the generated pages unless relocated; only
+  // full write-mode runs maintain one (a --section subset or a --check run
+  // would index a different grid / writes nothing).
+  const bool full_run = only.empty();
+  const bool journaling = full_run && !check;
+  if (checkpoint_path.empty())
+    checkpoint_path =
+        (std::filesystem::path(manifest.output_dir) / ".checkpoint.jsonl")
+            .generic_string();
+  std::optional<sweep::Journal> journal;
+  if (journaling) {
+    const std::string fingerprint =
+        sweep::manifest_fingerprint(manifest_text);
+    if (resume) {
+      journal = sweep::Journal::load_or_create(checkpoint_path, fingerprint);
+      if (journal->size() > 0)
+        err << "reproduce: resuming from " << checkpoint_path << " ("
+            << journal->size() << " points already done)\n";
+    } else {
+      journal.emplace(checkpoint_path, fingerprint);
+    }
+  }
+
   par::ThreadPool pool(threads);
-  const sweep::SweepResult result = sweep::run_sweep(manifest, pool, &err);
+  sweep::RunOptions options;
+  options.cancel = &par::global_cancel_token();
+  options.journal = journal ? &*journal : nullptr;
+  options.point_timeout_ms = point_timeout;
+  options.progress = &err;
+
+  sweep::SweepResult result;
+  try {
+    result = sweep::run_sweep(manifest, pool, options);
+  } catch (const Error& e) {
+    if (e.kind() != ErrorKind::kInterrupted) throw;
+    err << "kswsim: interrupted: " << e.what() << "\n";
+    if (journal && journal->size() > 0)
+      err << "reproduce: " << journal->size() << " completed points saved in "
+          << checkpoint_path << "; rerun with --resume to continue\n";
+    return e.exit_code();
+  }
+
   // The index enumerates every section, so it is only meaningful (and only
   // checked/written) for a full run.
-  const bool full_run = only.empty();
   const auto artifacts = sweep::render_book(manifest, result, full_run);
 
   unsigned drifted = 0;
@@ -132,35 +205,40 @@ int cmd_reproduce(const ArgMap& args, std::ostream& out, std::ostream& err) {
       }
     }
   } else {
-    for (const auto& artifact : artifacts) {
-      const auto parent =
-          std::filesystem::path(artifact.path).parent_path();
-      if (!parent.empty()) std::filesystem::create_directories(parent);
-      std::ofstream file(artifact.path, std::ios::binary);
-      if (!file)
-        throw std::invalid_argument("reproduce: cannot write " +
-                                    artifact.path);
-      file << artifact.content;
-    }
+    sweep::write_artifacts(artifacts);
   }
 
+  const unsigned degraded = result.points_degraded();
   tables::Table summary("Reproduction summary (" + manifest.name + ")",
-                        {"section", "points", "gates", "failed"});
+                        {"section", "points", "gates", "failed", "degraded"});
   for (const auto& sr : result.sections)
     summary.begin_row(sr.section.id)
         .add_cell(std::to_string(sr.points.size()))
         .add_cell(std::to_string(sr.cells_gated()))
-        .add_cell(std::to_string(sr.cells_failed()));
+        .add_cell(std::to_string(sr.cells_failed()))
+        .add_cell(std::to_string(sr.points_degraded()));
   summary.print(out);
   out << (check ? "checked " : "wrote ") << artifacts.size() << " artifacts"
       << (full_run ? "" : " (partial run: index skipped)") << "; "
       << result.cells_gated() - result.cells_failed() << "/"
       << result.cells_gated() << " gates passed";
   if (check && drifted > 0) out << "; " << drifted << " files drifted";
+  if (degraded > 0) out << "; " << degraded << " points degraded";
   out << "\n";
 
-  if (result.cells_failed() > 0) return 3;
-  if (drifted > 0) return 4;
+  if (journaling) {
+    if (degraded > 0) {
+      err << "reproduce: degraded points were not checkpointed; rerun with "
+             "--resume to retry only them\n";
+    } else {
+      // Fully clean full run: the journal has served its purpose.
+      sweep::Journal::remove_file(checkpoint_path);
+    }
+  }
+
+  if (result.cells_failed() > 0) return exit_code(ErrorKind::kGate);
+  if (drifted > 0) return exit_code(ErrorKind::kDrift);
+  if (degraded > 0) return kExitDegraded;
   return 0;
 }
 

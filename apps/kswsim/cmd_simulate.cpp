@@ -15,17 +15,19 @@
 // trace against the paper's eq. 12 prediction. The report is bit-identical
 // for a fixed seed regardless of --threads; --obs-wall adds wall-clock
 // phase durations and thread-pool telemetry, which are not.
-#include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "core/later_stages.hpp"
+#include "fault/plan.hpp"
+#include "io/atomic.hpp"
 #include "io/csv.hpp"
 #include "io/json.hpp"
 #include "kswsim/cli.hpp"
 #include "obs/report.hpp"
 #include "sim/replicate.hpp"
+#include "support/error.hpp"
 #include "tables/table.hpp"
 
 namespace ksw::cli {
@@ -41,9 +43,9 @@ std::vector<unsigned> parse_checkpoints(const std::string& text) {
     std::size_t pos = 0;
     const long v = std::stol(item, &pos);
     if (pos != item.size() || v <= 0)
-      throw std::invalid_argument("--checkpoints: bad value " + item);
+      throw usage_error("--checkpoints: bad value " + item);
     if (!out.empty() && static_cast<unsigned>(v) <= out.back())
-      throw std::invalid_argument(
+      throw usage_error(
           "--checkpoints: values must be strictly increasing (got " + item +
           " after " + std::to_string(out.back()) + ")");
     out.push_back(static_cast<unsigned>(v));
@@ -132,25 +134,24 @@ io::Json build_run_report(const sim::NetworkConfig& cfg,
 
 /// Write the report to `path` ("-" = the command's stdout stream; a .csv
 /// suffix selects the flat CSV registry dump instead of the JSON report).
+/// File output goes through io::atomic_write_file, so a crash mid-write
+/// never leaves a truncated report.
 void write_metrics_report(const std::string& path, const io::Json& report,
                           const sim::NetworkResults& r,
                           const obs::ReportOptions& opts, std::ostream& out) {
   const bool csv =
       path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
-  std::ofstream file;
-  std::ostream* os = &out;
-  if (path != "-") {
-    file.open(path);
-    if (!file)
-      throw std::invalid_argument("--metrics-out: cannot open " + path);
-    os = &file;
-  }
+  std::ostringstream body;
   if (csv) {
-    obs::registry_to_csv(r.metrics, opts).write(*os);
+    obs::registry_to_csv(r.metrics, opts).write(body);
   } else {
-    report.write(*os, 2);
-    *os << '\n';
+    report.write(body, 2);
+    body << '\n';
   }
+  if (path == "-")
+    out << body.str();
+  else
+    io::atomic_write_file(path, body.str());
 }
 
 }  // namespace
@@ -170,7 +171,7 @@ int cmd_simulate(const ArgMap& args, std::ostream& out, std::ostream& err) {
   if (topology == "omega")
     cfg.topology = sim::TopologyKind::kOmega;
   else if (topology != "butterfly")
-    throw std::invalid_argument("--topology: expected butterfly|omega");
+    throw usage_error("--topology: expected butterfly|omega");
   cfg.service = parse_service(args.get("service", "det:1"));
   cfg.measure_cycles = args.get_int("cycles", 50'000);
   cfg.warmup_cycles = args.get_int("warmup", cfg.measure_cycles / 10);
@@ -187,12 +188,14 @@ int cmd_simulate(const ArgMap& args, std::ostream& out, std::ostream& err) {
   cfg.obs.trace_points = args.get_unsigned("obs-trace", 24);
   obs::ReportOptions report_opts;
   report_opts.include_wall = args.get_flag("obs-wall");
+  const std::string fault_plan = args.get("fault-plan", "");
 
   const auto unknown = args.unused();
   if (!unknown.empty()) {
     err << "simulate: unknown option --" << unknown.front() << "\n";
     return 2;
   }
+  if (!fault_plan.empty()) fault::load_plan(fault_plan);
 
   obs::Registry pool_metrics;
   sim::NetworkResults r;

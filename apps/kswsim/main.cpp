@@ -3,8 +3,13 @@
 #include <vector>
 
 #include "kswsim/cli.hpp"
+#include "par/cancel.hpp"
 
 int main(int argc, char** argv) {
+  // SIGINT/SIGTERM request cooperative cancellation: long-running commands
+  // flush their checkpoint journal and partial report, then exit 130
+  // (128 + SIGINT). A second signal falls back to immediate termination.
+  ksw::par::install_signal_handlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   return ksw::cli::run(args, std::cout, std::cerr);
 }

@@ -1,7 +1,9 @@
 #include <exception>
 #include <ostream>
 
+#include "fault/injection.hpp"
 #include "kswsim/cli.hpp"
+#include "support/error.hpp"
 
 namespace ksw::cli {
 
@@ -33,8 +35,11 @@ commands:
              --manifest=manifests/paper.json --out-dir=docs/reproduction
              --index=docs/REPRODUCTION.md --threads=0
              --section=ID[,ID...] --list --check
-             (--check diffs committed pages against a fresh run; see
-              docs/REPRODUCTION.md)
+             --resume --checkpoint=FILE --point-timeout=MS
+             --fault-plan=FILE
+             (--check diffs committed pages against a fresh run; --resume
+              continues an interrupted run from its checkpoint journal;
+              see docs/REPRODUCTION.md and docs/ROBUSTNESS.md)
 
 common options:
   --format=table|json|csv   output format (default: table)
@@ -42,6 +47,13 @@ common options:
 
 service specs: det:M (constant M cycles), geo:MU (geometric, mean 1/MU),
                multi:M1@P1,M2@P2,... (mixture of constant sizes)
+
+exit codes: 0 ok, 1 internal error, 2 usage, 3 gate failure, 4 book
+            drift, 5 I/O error, 6 numeric error, 7 degraded run,
+            130 interrupted (see docs/ROBUSTNESS.md)
+
+environment: KSW_FAULTS=site[@N][:MS],... arms deterministic fault-
+             injection sites (testing; see docs/ROBUSTNESS.md)
 )";
 
 }  // namespace
@@ -49,6 +61,7 @@ service specs: det:M (constant M cycles), geo:MU (geometric, mean 1/MU),
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   try {
+    fault::arm_from_env();
     if (args.empty() || args[0] == "--help" || args[0] == "help") {
       out << kUsage;
       return args.empty() ? 2 : 0;
@@ -67,6 +80,11 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "reproduce") return cmd_reproduce(parsed, out, err);
     err << "kswsim: unknown command '" << command << "'\n" << kUsage;
     return 2;
+  } catch (const Error& e) {
+    // Typed errors carry their exit code: 2 usage, 5 io, 6 numeric,
+    // 130 interrupted (gate/drift are returned, not thrown).
+    err << "kswsim: " << to_string(e.kind()) << ": " << e.what() << "\n";
+    return e.exit_code();
   } catch (const std::exception& e) {
     err << "kswsim: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Out-of-process resilience check: a reproduction run killed mid-flight
+# with SIGINT must exit 130, leave a checkpoint journal and no truncated
+# artifacts, and a follow-up `--resume` run must produce a book that is
+# byte-identical to an uninterrupted run. Also sweeps the fault-injection
+# matrix end to end, asserting each site maps to its documented exit code.
+#
+#   scripts/check_resume.sh [build-dir]
+#
+# Assumes the build dir already contains a compiled `kswsim` (the default
+# CMake configuration, with fault injection enabled).
+set -euo pipefail
+
+build_dir="${1:-build}"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+kswsim="$src_dir/$build_dir/apps/kswsim"
+[ -x "$kswsim" ] || {
+  echo "check_resume: $kswsim not built (run cmake --build $build_dir)" >&2
+  exit 1
+}
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# Small but multi-point manifest so an interrupted run has work left over.
+# Tolerances are wide open: this script tests the execution layer, not the
+# physics, so the clean run must gate-pass deterministically.
+cat > "$work/manifest.json" <<EOF
+{
+  "schema": "ksw.sweep/v1",
+  "name": "resume-check",
+  "title": "Kill/resume smoke",
+  "output_dir": "$work/book",
+  "index_path": "$work/book/INDEX.md",
+  "defaults": {
+    "replicates": 2,
+    "measure_cycles": 2000,
+    "warmup_cycles": 200,
+    "seed": 7,
+    "mean_rel_tol": 10,
+    "var_rel_tol": 10,
+    "abs_tol": 10
+  },
+  "sections": [
+    {
+      "id": "alpha",
+      "title": "A",
+      "kind": "first_stage",
+      "grid": { "axes": { "p": [0.2, 0.4, 0.6] } }
+    },
+    {
+      "id": "beta",
+      "title": "B",
+      "kind": "first_stage",
+      "grid": { "points": [{ "k": 2, "p": 0.5 }] }
+    }
+  ]
+}
+EOF
+
+expect_exit() { # expect_exit <wanted> <label> <cmd...>
+  local wanted="$1" label="$2" got=0
+  shift 2
+  "$@" >/dev/null 2>&1 || got=$?
+  if [ "$got" -ne "$wanted" ]; then
+    echo "check_resume: $label: expected exit $wanted, got $got" >&2
+    exit 1
+  fi
+}
+
+echo "== clean reference run"
+"$kswsim" reproduce --manifest="$work/manifest.json" --threads=2 >/dev/null
+cp -r "$work/book" "$work/reference"
+rm -rf "$work/book"
+
+echo "== interrupted run (SIGINT mid-flight)"
+# point.slow stretches the first grid point by 2 s, guaranteeing the run
+# is still in flight when the signal lands 0.3 s in.
+KSW_FAULTS=point.slow:2000 \
+  "$kswsim" reproduce --manifest="$work/manifest.json" --threads=2 \
+  >/dev/null 2>"$work/interrupt.log" &
+pid=$!
+sleep 0.3
+kill -INT "$pid"
+got=0
+wait "$pid" || got=$?
+if [ "$got" -ne 130 ]; then
+  echo "check_resume: interrupted run: expected exit 130, got $got" >&2
+  cat "$work/interrupt.log" >&2
+  exit 1
+fi
+grep -q "interrupted" "$work/interrupt.log" || {
+  echo "check_resume: interrupted run did not report interruption" >&2
+  exit 1
+}
+# No partial artifacts: the book pages are written after the sweep.
+for f in alpha.md alpha.csv beta.md beta.csv INDEX.md; do
+  if [ -e "$work/book/$f" ]; then
+    echo "check_resume: interrupted run left partial artifact $f" >&2
+    exit 1
+  fi
+done
+
+echo "== resumed run"
+"$kswsim" reproduce --manifest="$work/manifest.json" --threads=2 --resume \
+  >/dev/null
+diff -r "$work/reference" "$work/book" || {
+  echo "check_resume: resumed book differs from uninterrupted run" >&2
+  exit 1
+}
+if [ -e "$work/book/.checkpoint.jsonl" ]; then
+  echo "check_resume: journal not removed after clean resume" >&2
+  exit 1
+fi
+
+echo "== fault matrix (documented exit codes)"
+rm -rf "$work/book"
+expect_exit 7 "replicate.throw -> degraded" \
+  env KSW_FAULTS=replicate.throw \
+  "$kswsim" reproduce --manifest="$work/manifest.json" --threads=2
+rm -rf "$work/book"
+expect_exit 5 "io.open -> io error" \
+  env KSW_FAULTS=io.open \
+  "$kswsim" reproduce --manifest="$work/manifest.json" --threads=2
+expect_exit 6 "series.near-singular -> numeric error" \
+  env KSW_FAULTS=series.near-singular \
+  "$kswsim" analyze --k=2 --p=0.5
+expect_exit 2 "unknown fault site -> usage error" \
+  env KSW_FAULTS=not.a.site \
+  "$kswsim" analyze --k=2 --p=0.5
+rm -rf "$work/book"
+expect_exit 7 "point.slow + --point-timeout -> degraded" \
+  env KSW_FAULTS=point.slow:100 \
+  "$kswsim" reproduce --manifest="$work/manifest.json" --threads=2 \
+  --point-timeout=10
+
+echo "check_resume: OK"

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
+
+#include "support/error.hpp"
 
 namespace ksw::core {
 
@@ -12,6 +15,14 @@ namespace {
 // Length of the Taylor expansions around z = 1 (epsilon-series). Four terms
 // (eps^0..eps^3) give t'(1), t''(1), t'''(1).
 constexpr std::size_t kEpsTerms = 4;
+
+// Below this distance from saturation the epsilon-series denominators
+// (leading coefficient rho - 1) are numerically meaningless: Theorem 1's
+// moments blow up as 1/(1-rho)^k and the power-series division amplifies
+// round-off by the same factor. Well above pgf::kDivideEpsilon so the
+// failure is reported as "too close to saturation" with a suggested cap
+// instead of surfacing later as an opaque ill-conditioned division.
+constexpr double kSaturationMargin = 1e-6;
 
 pgf::Series eps_series(std::array<double, kEpsTerms> coeffs) {
   pgf::Series s(kEpsTerms);
@@ -37,9 +48,16 @@ FirstStage::FirstStage(QueueSpec spec) : spec_(std::move(spec)) {
   m_ = spec_.service->mean_service();
   if (!(lambda_ > 0.0))
     throw std::invalid_argument("FirstStage: arrival rate must be positive");
-  if (!(lambda_ * m_ < 1.0))
-    throw std::invalid_argument(
-        "FirstStage: traffic intensity rho = lambda*m must be < 1");
+  const double rho = lambda_ * m_;
+  if (!(rho < 1.0 - kSaturationMargin)) {
+    const double cap = 1.0 - kSaturationMargin;
+    std::ostringstream msg;
+    msg << "FirstStage: traffic intensity rho = lambda*m = " << rho
+        << (rho < 1.0 ? " is too close to saturation (heavy-traffic limit)"
+                      : " is at or beyond saturation; the queue is unstable")
+        << "; reduce the offered load so rho <= " << cap;
+    throw numeric_error(msg.str());
+  }
 }
 
 WaitingMoments FirstStage::moments() const {

@@ -1,0 +1,67 @@
+#include "fault/plan.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "fault/injection.hpp"
+#include "support/error.hpp"
+
+namespace ksw::fault {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw usage_error("fault plan: " + what);
+}
+
+}  // namespace
+
+void arm_from_plan(const io::Json& doc) {
+  if (!doc.is_object()) fail("document must be a JSON object");
+  for (const auto& key : doc.keys())
+    if (key != "schema" && key != "sites")
+      fail("unknown key \"" + key + "\"");
+  if (!doc.contains("schema") ||
+      doc.at("schema").as_string() != "ksw.faults/v1")
+    fail("missing or unsupported \"schema\" (want ksw.faults/v1)");
+  if (!doc.contains("sites")) fail("missing \"sites\"");
+  const io::Json& sites = doc.at("sites");
+  if (!sites.is_object() || sites.size() == 0)
+    fail("\"sites\" must be a non-empty object");
+
+  for (const auto& site : sites.keys()) {
+    const io::Json& entry = sites.at(site);
+    if (!entry.is_object()) fail("site \"" + site + "\" must be an object");
+    SiteSpec spec;
+    for (const auto& key : entry.keys()) {
+      if (key == "fire_at") {
+        const std::int64_t v = entry.at(key).as_int();
+        if (v < 1) fail("site \"" + site + "\": fire_at must be >= 1");
+        spec.fire_at = static_cast<unsigned>(v);
+      } else if (key == "delay_ms") {
+        const std::int64_t v = entry.at(key).as_int();
+        if (v < 0) fail("site \"" + site + "\": delay_ms must be >= 0");
+        spec.delay_ms = v;
+      } else {
+        fail("site \"" + site + "\": unknown key \"" + key + "\"");
+      }
+    }
+    arm(site, spec);
+  }
+}
+
+void load_plan(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw io_error("fault plan: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  io::Json doc;
+  try {
+    doc = io::Json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    fail(path + ": " + e.what());
+  }
+  arm_from_plan(doc);
+}
+
+}  // namespace ksw::fault

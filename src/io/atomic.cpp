@@ -1,0 +1,106 @@
+#include "io/atomic.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "fault/injection.hpp"
+#include "support/error.hpp"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace ksw::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw io_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path target(path);
+  const auto parent = target.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) throw io_error("cannot create directory " + parent.string() +
+                           ": " + ec.message());
+  }
+  const std::string tmp = path + ".tmp";
+
+#if defined(_WIN32)
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (fault::should_fire("io.open") && file != nullptr) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    file = nullptr;
+    errno = EACCES;
+  }
+  if (file == nullptr) fail("cannot open", tmp);
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), file);
+  const bool write_failed =
+      written != content.size() || fault::should_fire("io.write");
+  if (write_failed || std::fclose(file) != 0) {
+    if (write_failed) std::fclose(file);
+    std::remove(tmp.c_str());
+    fail("cannot write", tmp);
+  }
+#else
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fault::should_fire("io.open") && fd >= 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fd = -1;
+    errno = EACCES;
+  }
+  if (fd < 0) fail("cannot open", tmp);
+
+  std::size_t offset = 0;
+  bool write_failed = fault::should_fire("io.write");
+  if (write_failed) errno = ENOSPC;
+  while (!write_failed && offset < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + offset, content.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      write_failed = true;
+      break;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must not become durable before the
+  // data it points at.
+  if (write_failed || ::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("cannot write", tmp);
+  }
+  if (::close(fd) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("cannot write", tmp);
+  }
+#endif
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    std::remove(tmp.c_str());
+    errno = saved;
+    fail("cannot rename", tmp + " ->");
+  }
+}
+
+}  // namespace ksw::io

@@ -1,0 +1,22 @@
+// Crash-safe file writing: temp file + fsync + atomic rename.
+//
+// A bare std::ofstream left a truncated artifact on disk when the process
+// died mid-write (SIGINT, full disk, injected fault). atomic_write_file
+// guarantees readers only ever see either the previous complete content
+// or the new complete content — never a prefix.
+#pragma once
+
+#include <string>
+
+namespace ksw::io {
+
+/// Write `content` to `path` atomically: write to `<path>.tmp` in the same
+/// directory, fsync, then rename over `path`. Parent directories are
+/// created as needed. On any failure the temp file is removed, the
+/// original `path` is left untouched, and ksw::Error(kIo) is thrown.
+///
+/// Fault-injection sites: "io.open" (temp-file creation) and "io.write"
+/// (mid-write failure) — see docs/ROBUSTNESS.md.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace ksw::io

@@ -1,0 +1,45 @@
+#include "par/cancel.hpp"
+
+#include <csignal>
+
+namespace ksw::par {
+
+namespace {
+
+// Signal state lives in lock-free atomics: handlers may only touch
+// async-signal-safe machinery.
+std::atomic<int> g_last_signal{0};
+
+extern "C" void ksw_signal_handler(int sig) {
+  if (global_cancel_token().requested()) {
+    // Second signal: give up on cooperative shutdown.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  g_last_signal.store(sig, std::memory_order_relaxed);
+  global_cancel_token().request();
+}
+
+}  // namespace
+
+CancelToken& global_cancel_token() noexcept {
+  static CancelToken token;
+  return token;
+}
+
+void install_signal_handlers() noexcept {
+  // Touch the token now so its magic-static guard never runs inside the
+  // signal handler.
+  (void)global_cancel_token();
+  std::signal(SIGINT, ksw_signal_handler);
+#ifdef SIGTERM
+  std::signal(SIGTERM, ksw_signal_handler);
+#endif
+}
+
+int last_signal() noexcept {
+  return g_last_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace ksw::par

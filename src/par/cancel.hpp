@@ -1,0 +1,46 @@
+// Cooperative cancellation.
+//
+// A CancelToken is a shared flag that long-running work polls at safe
+// points (between replicate indices, between grid points). Requesting
+// cancellation never tears state mid-computation: holders finish or skip
+// whole units of work, flush their checkpoints, and unwind with
+// ksw::Error(kInterrupted).
+//
+// The *global* token is wired to SIGINT/SIGTERM by
+// install_signal_handlers() (called from kswsim's main). A second SIGINT
+// restores the default disposition, so a stuck run can still be killed.
+#pragma once
+
+#include <atomic>
+
+namespace ksw::par {
+
+class CancelToken {
+ public:
+  /// Request cancellation. Async-signal-safe (a single atomic store).
+  void request() noexcept { requested_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool requested() const noexcept {
+    return requested_.load(std::memory_order_acquire);
+  }
+
+  /// Clear the flag (tests and REPL-style embedders).
+  void reset() noexcept { requested_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+/// Process-wide token the signal handlers target.
+[[nodiscard]] CancelToken& global_cancel_token() noexcept;
+
+/// Install SIGINT/SIGTERM handlers that request the global token.
+/// Idempotent. The first signal requests cooperative shutdown; a second
+/// one restores the default handler and re-raises (hard kill).
+void install_signal_handlers() noexcept;
+
+/// The last signal number delivered to the handlers (0 if none) — lets
+/// the CLI report "interrupted by SIGINT" in the partial summary.
+[[nodiscard]] int last_signal() noexcept;
+
+}  // namespace ksw::par

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "support/error.hpp"
 
 namespace ksw::par {
 
@@ -91,11 +92,45 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t count,
-                  const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
+namespace {
+
+/// Shared abort state for one parallel_for* call: the first error wins,
+/// and its presence (or an external cancellation request) makes every
+/// still-pending index a no-op.
+struct AbortState {
   std::exception_ptr first_error = nullptr;
   std::mutex error_mu;
+  std::atomic<bool> aborted{false};
+  const CancelToken* cancel = nullptr;
+
+  [[nodiscard]] bool should_skip() const noexcept {
+    return aborted.load(std::memory_order_relaxed) ||
+           (cancel != nullptr && cancel->requested());
+  }
+
+  void record(std::exception_ptr error) {
+    std::lock_guard lock(error_mu);
+    if (!first_error) first_error = std::move(error);
+    aborted.store(true, std::memory_order_relaxed);
+  }
+
+  /// After the call drains: rethrow the first error, or surface a clean
+  /// cancellation as a typed interruption.
+  void finish() const {
+    if (first_error) std::rethrow_exception(first_error);
+    if (cancel != nullptr && cancel->requested())
+      throw interrupted_error("parallel work cancelled");
+  }
+};
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  const CancelToken* cancel) {
+  if (count == 0) return;
+  AbortState abort;
+  abort.cancel = cancel;
   std::atomic<std::size_t> next{0};
   // One pool task per worker, each draining indices from a shared counter —
   // cheap dynamic load balancing without per-index task overhead.
@@ -103,26 +138,27 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     pool.submit([&] {
       for (;;) {
+        if (abort.should_skip()) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
         try {
           body(i);
         } catch (...) {
-          std::lock_guard lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+          abort.record(std::current_exception());
         }
       }
     });
   }
   pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  abort.finish();
 }
 
 void parallel_for_chunks(ThreadPool& pool, std::size_t count,
-                         const std::function<void(std::size_t)>& body) {
+                         const std::function<void(std::size_t)>& body,
+                         const CancelToken* cancel) {
   if (count == 0) return;
-  std::exception_ptr first_error = nullptr;
-  std::mutex error_mu;
+  AbortState abort;
+  abort.cancel = cancel;
   const std::size_t chunks = std::min(count, pool.thread_count());
   for (std::size_t c = 0; c < chunks; ++c) {
     // Balanced split: chunk c covers [count*c/chunks, count*(c+1)/chunks),
@@ -131,17 +167,17 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t count,
     const std::size_t end = count * (c + 1) / chunks;
     pool.submit([&, begin, end] {
       for (std::size_t i = begin; i < end; ++i) {
+        if (abort.should_skip()) return;
         try {
           body(i);
         } catch (...) {
-          std::lock_guard lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+          abort.record(std::current_exception());
         }
       }
     });
   }
   pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  abort.finish();
 }
 
 }  // namespace ksw::par

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "par/cancel.hpp"
 
 namespace ksw::par {
 
@@ -65,10 +66,17 @@ class ThreadPool {
 
 /// Run body(i) for i in [0, count) across the pool; blocks until all done.
 /// Indices are drained dynamically from a shared counter (good load
-/// balancing for uneven task costs). Exceptions thrown by tasks propagate
-/// (the first one, after all finish).
+/// balancing for uneven task costs).
+///
+/// Failure semantics: the first exception thrown by any body is recorded
+/// and rethrown after the call drains; once an error is recorded (or
+/// `cancel` is requested) still-pending indices are *skipped* rather than
+/// executed, so a failing or cancelled run aborts promptly instead of
+/// burning the remaining grid. When `cancel` fires and no body threw,
+/// ksw::Error(kInterrupted) is thrown.
 void parallel_for(ThreadPool& pool, std::size_t count,
-                  const std::function<void(std::size_t)>& body);
+                  const std::function<void(std::size_t)>& body,
+                  const CancelToken* cancel = nullptr);
 
 /// Run body(i) for i in [0, count), statically partitioned into one
 /// contiguous chunk per worker; each chunk is walked in ascending index
@@ -76,9 +84,10 @@ void parallel_for(ThreadPool& pool, std::size_t count,
 /// parallel_for's dynamic balancing for fewer queue round-trips, a
 /// deterministic worker->index assignment, and per-worker locality of
 /// consecutive indices. Per-index outputs are identical to parallel_for.
-/// Exceptions propagate as in parallel_for.
+/// Failure/cancellation semantics as in parallel_for.
 void parallel_for_chunks(ThreadPool& pool, std::size_t count,
-                         const std::function<void(std::size_t)>& body);
+                         const std::function<void(std::size_t)>& body,
+                         const CancelToken* cancel = nullptr);
 
 /// Convenience: run `count` independent jobs producing results of type T,
 /// collected in index order into a vector (deterministic merge).

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
+
+#include "fault/injection.hpp"
+#include "support/error.hpp"
 
 namespace ksw::pgf {
 
@@ -63,9 +67,19 @@ Series Series::mul(const Series& a, const Series& b) {
 Series Series::divide(const Series& num, const Series& den) {
   if (num.length() != den.length())
     throw std::invalid_argument("Series::divide: length mismatch");
-  if (std::abs(den.c_[0]) < kDivideEpsilon)
-    throw std::invalid_argument(
-        "Series::divide: |den[0]| < kDivideEpsilon (ill-conditioned)");
+  // Deterministic fault site: pretend the constant term collapsed, so the
+  // near-singular reporting path can be exercised without crafting a
+  // genuinely ill-conditioned model.
+  const bool injected_singular = fault::should_fire("series.near-singular");
+  if (injected_singular || std::abs(den.c_[0]) < kDivideEpsilon) {
+    std::ostringstream msg;
+    msg << "Series::divide: |den[0]| = " << std::abs(den.c_[0]) << " < "
+        << kDivideEpsilon
+        << " (ill-conditioned power-series division; the queue is at or "
+           "beyond saturation)";
+    if (injected_singular) msg << " [injected: series.near-singular]";
+    throw numeric_error(msg.str());
+  }
   const std::size_t n = num.length();
   Series q(n);
   const double inv0 = 1.0 / den.c_[0];

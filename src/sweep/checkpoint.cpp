@@ -1,0 +1,222 @@
+#include "sweep/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "io/atomic.hpp"
+#include "io/json.hpp"
+#include "support/error.hpp"
+
+namespace ksw::sweep {
+
+namespace {
+
+constexpr const char* kSchema = "ksw.checkpoint/v1";
+
+/// Bit-exact double encoding. io::Json prints numbers with 12 significant
+/// digits — fine for reports, fatal for a journal whose whole point is
+/// byte-identical resumed output — so doubles travel as hexfloat strings.
+std::string encode_double(double v) {
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+double decode_double(const io::Json& j, const char* what) {
+  if (!j.is_string())
+    throw io_error(std::string("checkpoint: ") + what +
+                   " must be a hexfloat string");
+  try {
+    return std::stod(j.as_string());
+  } catch (const std::exception&) {
+    throw io_error(std::string("checkpoint: cannot parse ") + what + " '" +
+                   j.as_string() + "'");
+  }
+}
+
+io::Json cell_to_json(const Cell& cell) {
+  io::Json j = io::Json::object();
+  j.set("metric", cell.metric);
+  j.set("analytic", encode_double(cell.analytic));
+  j.set("simulated", encode_double(cell.simulated));
+  j.set("ci_half", encode_double(cell.ci_half));
+  j.set("rel_error", encode_double(cell.rel_error));
+  j.set("mean_like", cell.mean_like);
+  j.set("gated", cell.gated);
+  j.set("pass", cell.pass);
+  return j;
+}
+
+Cell cell_from_json(const io::Json& j) {
+  Cell cell;
+  cell.metric = j.at("metric").as_string();
+  cell.analytic = decode_double(j.at("analytic"), "analytic");
+  cell.simulated = decode_double(j.at("simulated"), "simulated");
+  cell.ci_half = decode_double(j.at("ci_half"), "ci_half");
+  cell.rel_error = decode_double(j.at("rel_error"), "rel_error");
+  cell.mean_like = j.at("mean_like").as_bool();
+  cell.gated = j.at("gated").as_bool();
+  cell.pass = j.at("pass").as_bool();
+  return cell;
+}
+
+io::Json point_to_json(const Point& p) {
+  io::Json j = io::Json::object();
+  j.set("k", static_cast<std::int64_t>(p.k));
+  j.set("s", static_cast<std::int64_t>(p.s));
+  j.set("p", encode_double(p.p));
+  j.set("bulk", static_cast<std::int64_t>(p.bulk));
+  j.set("q", encode_double(p.q));
+  j.set("service", p.service);
+  return j;
+}
+
+Point point_from_json(const io::Json& j) {
+  Point p;
+  p.k = static_cast<unsigned>(j.at("k").as_int());
+  p.s = static_cast<unsigned>(j.at("s").as_int());
+  p.p = decode_double(j.at("p"), "p");
+  p.bulk = static_cast<unsigned>(j.at("bulk").as_int());
+  p.q = decode_double(j.at("q"), "q");
+  p.service = j.at("service").as_string();
+  return p;
+}
+
+io::Json result_to_json(const PointResult& r) {
+  io::Json j = io::Json::object();
+  j.set("point", point_to_json(r.point));
+  j.set("label", r.label);
+  // samples is a count; decimal string avoids the double round-trip.
+  j.set("samples", std::to_string(r.samples));
+  io::Json cells = io::Json::array();
+  for (const Cell& cell : r.cells) cells.push_back(cell_to_json(cell));
+  j.set("cells", std::move(cells));
+  return j;
+}
+
+PointResult result_from_json(const io::Json& j) {
+  PointResult r;
+  r.point = point_from_json(j.at("point"));
+  r.label = j.at("label").as_string();
+  r.samples = std::stoull(j.at("samples").as_string());
+  const io::Json& cells = j.at("cells");
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    r.cells.push_back(cell_from_json(cells.at(i)));
+  return r;
+}
+
+}  // namespace
+
+std::string manifest_fingerprint(const std::string& raw_text) {
+  // FNV-1a 64.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : raw_text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  std::ostringstream os;
+  os << std::hex << h;
+  return os.str();
+}
+
+Journal::Journal(std::string path, std::string fingerprint)
+    : path_(std::move(path)), fingerprint_(std::move(fingerprint)) {}
+
+Journal Journal::load_or_create(std::string path, std::string fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Journal(std::move(path), std::move(fingerprint));
+
+  Journal journal(path, fingerprint);
+  std::string line;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    io::Json doc;
+    try {
+      doc = io::Json::parse(line);
+    } catch (const std::exception& e) {
+      throw io_error("checkpoint: " + path + ":" + std::to_string(line_no) +
+                     ": corrupt journal line (" + e.what() +
+                     "); delete the file or run without --resume");
+    }
+    try {
+      if (!saw_header) {
+        const std::string schema = doc.at("schema").as_string();
+        if (schema != kSchema)
+          throw io_error("checkpoint: " + path + ": unknown schema '" +
+                         schema + "' (expected " + kSchema + ")");
+        const std::string recorded = doc.at("fingerprint").as_string();
+        if (recorded != fingerprint)
+          throw usage_error(
+              "checkpoint: " + path + ": manifest fingerprint " + recorded +
+              " does not match the current manifest (" + fingerprint +
+              "); the manifest changed since the interrupted run — delete "
+              "the journal or rerun without --resume");
+        saw_header = true;
+        continue;
+      }
+      Entry entry;
+      entry.section_id = doc.at("section").as_string();
+      entry.point_index =
+          static_cast<std::size_t>(doc.at("index").as_int());
+      entry.result = result_from_json(doc.at("result"));
+      journal.entries_.push_back(std::move(entry));
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw io_error("checkpoint: " + path + ":" + std::to_string(line_no) +
+                     ": malformed journal entry (" + e.what() +
+                     "); delete the file or run without --resume");
+    }
+  }
+  return journal;
+}
+
+const PointResult* Journal::find(const std::string& section_id,
+                                 std::size_t point_index) const {
+  for (const Entry& e : entries_)
+    if (e.point_index == point_index && e.section_id == section_id)
+      return &e.result;
+  return nullptr;
+}
+
+void Journal::record(const std::string& section_id, std::size_t point_index,
+                     const PointResult& result) {
+  Entry entry;
+  entry.section_id = section_id;
+  entry.point_index = point_index;
+  entry.result = result;
+  entries_.push_back(std::move(entry));
+  io::atomic_write_file(path_, serialize());
+}
+
+std::string Journal::serialize() const {
+  std::ostringstream os;
+  {
+    io::Json header = io::Json::object();
+    header.set("schema", kSchema);
+    header.set("fingerprint", fingerprint_);
+    header.write(os);
+    os << '\n';
+  }
+  for (const Entry& e : entries_) {
+    io::Json line = io::Json::object();
+    line.set("section", e.section_id);
+    line.set("index", static_cast<std::int64_t>(e.point_index));
+    line.set("result", result_to_json(e.result));
+    line.write(os);
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Journal::remove_file(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+}  // namespace ksw::sweep

@@ -1,0 +1,80 @@
+// Per-grid-point checkpoint journal for resumable reproduction runs.
+//
+// The journal is a JSON-lines file: a header line identifying the schema
+// ("ksw.checkpoint/v1") and the manifest fingerprint, followed by one line
+// per *successfully* completed grid point. Degraded points are never
+// recorded, so a resumed run retries them. Every update rewrites the whole
+// journal through io::atomic_write_file (temp + fsync + rename), so the
+// file on disk is always a complete, parseable snapshot — a kill at any
+// instant leaves either the previous or the next state, never a torn one.
+//
+// Doubles are serialized as hexfloat strings ("0x1.8p+1"), not decimal:
+// the journal must round-trip bit-exactly so a resumed run emits a book
+// byte-identical to an uninterrupted one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/runner.hpp"
+
+namespace ksw::sweep {
+
+/// Stable fingerprint of a manifest file's raw text (FNV-1a 64, hex).
+/// Any edit to the manifest — even whitespace — invalidates a journal,
+/// because grid indices and budgets may have shifted.
+[[nodiscard]] std::string manifest_fingerprint(const std::string& raw_text);
+
+/// The checkpoint journal. Keyed by (section id, point index within the
+/// section's expanded grid) — the runner's iteration order is
+/// deterministic, so the pair uniquely names a grid point.
+class Journal {
+ public:
+  /// An empty journal that will be written to `path` on the first record.
+  Journal(std::string path, std::string fingerprint);
+
+  /// Load an existing journal, or start an empty one when `path` does not
+  /// exist. Throws ksw::Error(kUsage) when the journal's fingerprint does
+  /// not match `fingerprint` (the manifest changed since the interrupted
+  /// run), and ksw::Error(kIo) when the file exists but cannot be parsed.
+  [[nodiscard]] static Journal load_or_create(std::string path,
+                                              std::string fingerprint);
+
+  /// The completed result for a point, or nullptr if not recorded.
+  [[nodiscard]] const PointResult* find(const std::string& section_id,
+                                        std::size_t point_index) const;
+
+  [[nodiscard]] bool has(const std::string& section_id,
+                         std::size_t point_index) const {
+    return find(section_id, point_index) != nullptr;
+  }
+
+  /// Record a successfully completed point and persist the whole journal
+  /// atomically. Throws ksw::Error(kIo) on write failure.
+  void record(const std::string& section_id, std::size_t point_index,
+              const PointResult& result);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Delete the journal file (after a fully clean run). Missing file is
+  /// not an error.
+  static void remove_file(const std::string& path);
+
+ private:
+  struct Entry {
+    std::string section_id;
+    std::size_t point_index = 0;
+    PointResult result;
+  };
+
+  [[nodiscard]] std::string serialize() const;
+
+  std::string path_;
+  std::string fingerprint_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ksw::sweep

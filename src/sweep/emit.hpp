@@ -42,4 +42,9 @@ struct Artifact {
                                                 const SweepResult& result,
                                                 bool include_index = true);
 
+/// Write every artifact through io::atomic_write_file (temp + fsync +
+/// rename, parent directories created), so a crash or kill mid-write
+/// never leaves a truncated page in the book. Throws ksw::Error(kIo).
+void write_artifacts(const std::vector<Artifact>& artifacts);
+
 }  // namespace ksw::sweep

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sim/service_spec.hpp"
+#include "support/error.hpp"
 
 namespace ksw::sweep {
 
@@ -35,7 +36,7 @@ std::string Point::label() const {
 namespace {
 
 [[noreturn]] void fail(const std::string& where, const std::string& what) {
-  throw std::invalid_argument("manifest: " + where + ": " + what);
+  throw usage_error("manifest: " + where + ": " + what);
 }
 
 /// Strict-schema guard: every key of `obj` must be in `allowed`.
@@ -127,7 +128,11 @@ void apply_param(Point* point, const std::string& key, const io::Json& value,
       fail(where, "q must be in [0,1)");
   } else if (key == "service") {
     point->service = value.as_string();
-    (void)sim::ServiceSpec::parse(point->service);  // validate eagerly
+    try {
+      (void)sim::ServiceSpec::parse(point->service);  // validate eagerly
+    } catch (const std::invalid_argument& e) {
+      fail(where, std::string("bad service spec: ") + e.what());
+    }
   } else {
     fail(where, "unknown parameter \"" + key +
                     "\" (expected k, s, p, bulk, q, or service)");
@@ -299,7 +304,7 @@ Manifest parse_manifest(const io::Json& doc) {
 Manifest load_manifest(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file)
-    throw std::invalid_argument("manifest: cannot open " + path);
+    throw io_error("manifest: cannot open " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return parse_manifest(io::Json::parse(buffer.str()));

@@ -100,11 +100,12 @@ struct Manifest {
   std::vector<Section> sections;
 };
 
-/// Parse a manifest document. Throws std::invalid_argument with a
+/// Parse a manifest document. Throws ksw::Error(kUsage) with a
 /// descriptive message on any schema violation.
 [[nodiscard]] Manifest parse_manifest(const io::Json& doc);
 
-/// Read + parse a manifest file. Throws on I/O or parse errors.
+/// Read + parse a manifest file. Throws ksw::Error(kIo) when the file
+/// cannot be opened and ksw::Error(kUsage) on schema violations.
 [[nodiscard]] Manifest load_manifest(const std::string& path);
 
 }  // namespace ksw::sweep

@@ -1,12 +1,16 @@
 #include "sweep/runner.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <ostream>
 
 #include "core/total_delay.hpp"
+#include "fault/injection.hpp"
 #include "sim/first_stage_sim.hpp"
 #include "sim/replicate.hpp"
 #include "stats/confidence.hpp"
+#include "support/error.hpp"
+#include "sweep/checkpoint.hpp"
 
 namespace ksw::sweep {
 
@@ -41,6 +45,12 @@ unsigned SectionResult::cells_failed() const {
   return n;
 }
 
+unsigned SectionResult::points_degraded() const {
+  unsigned n = 0;
+  for (const PointResult& pt : points) n += pt.degraded ? 1 : 0;
+  return n;
+}
+
 unsigned SweepResult::cells_gated() const {
   unsigned n = 0;
   for (const SectionResult& s : sections) n += s.cells_gated();
@@ -50,6 +60,12 @@ unsigned SweepResult::cells_gated() const {
 unsigned SweepResult::cells_failed() const {
   unsigned n = 0;
   for (const SectionResult& s : sections) n += s.cells_failed();
+  return n;
+}
+
+unsigned SweepResult::points_degraded() const {
+  unsigned n = 0;
+  for (const SectionResult& s : sections) n += s.points_degraded();
   return n;
 }
 
@@ -98,7 +114,8 @@ Cell make_cell(std::string metric, double analytic, double simulated,
 }
 
 PointResult run_first_stage_point(const Section& section, const Point& pt,
-                                  par::ThreadPool& pool) {
+                                  par::ThreadPool& pool,
+                                  const par::CancelToken* cancel) {
   sim::FirstStageConfig cfg;
   cfg.k = pt.k;
   cfg.s = pt.s != 0 ? pt.s : pt.k;
@@ -111,12 +128,16 @@ PointResult run_first_stage_point(const Section& section, const Point& pt,
 
   const unsigned replicates = section.budget.replicates;
   std::vector<sim::FirstStageResults> parts(replicates);
-  par::parallel_for_chunks(pool, replicates, [&](std::size_t i) {
-    sim::FirstStageConfig rep = cfg;
-    rep.seed = sim::replicate_seed(section.budget.seed,
-                                   static_cast<unsigned>(i));
-    parts[i] = sim::run_first_stage(rep);
-  });
+  par::parallel_for_chunks(
+      pool, replicates,
+      [&](std::size_t i) {
+        fault::maybe_fail("replicate.throw");
+        sim::FirstStageConfig rep = cfg;
+        rep.seed = sim::replicate_seed(section.budget.seed,
+                                       static_cast<unsigned>(i));
+        parts[i] = sim::run_first_stage(rep);
+      },
+      cancel);
   sim::FirstStageResults merged = parts[0];
   std::vector<double> means(replicates), vars(replicates);
   means[0] = parts[0].waiting.mean();
@@ -154,7 +175,8 @@ struct NetworkRun {
 };
 
 NetworkRun run_network_replicates(const Section& section, const Point& pt,
-                                  par::ThreadPool& pool) {
+                                  par::ThreadPool& pool,
+                                  const par::CancelToken* cancel) {
   sim::NetworkConfig cfg;
   cfg.k = pt.k;
   cfg.stages = section.stages;
@@ -170,12 +192,15 @@ NetworkRun run_network_replicates(const Section& section, const Point& pt,
   NetworkRun run;
   run.parts.resize(section.budget.replicates);
   par::parallel_for_chunks(
-      pool, section.budget.replicates, [&](std::size_t i) {
+      pool, section.budget.replicates,
+      [&](std::size_t i) {
+        fault::maybe_fail("replicate.throw");
         sim::NetworkConfig rep = cfg;
         rep.seed = sim::replicate_seed(section.budget.seed,
                                        static_cast<unsigned>(i));
         run.parts[i] = sim::run_network(rep);
-      });
+      },
+      cancel);
   run.merged = run.parts[0];
   for (std::size_t i = 1; i < run.parts.size(); ++i)
     run.merged.merge(run.parts[i]);
@@ -184,8 +209,9 @@ NetworkRun run_network_replicates(const Section& section, const Point& pt,
 
 PointResult run_stage_convergence_point(const Section& section,
                                         const Point& pt,
-                                        par::ThreadPool& pool) {
-  const NetworkRun run = run_network_replicates(section, pt, pool);
+                                        par::ThreadPool& pool,
+                                        const par::CancelToken* cancel) {
+  const NetworkRun run = run_network_replicates(section, pt, pool, cancel);
   const core::LaterStages ls(analytic_traffic(pt));
   const double level = section.budget.ci_level;
 
@@ -212,8 +238,9 @@ PointResult run_stage_convergence_point(const Section& section,
 }
 
 PointResult run_total_delay_point(const Section& section, const Point& pt,
-                                  par::ThreadPool& pool) {
-  const NetworkRun run = run_network_replicates(section, pt, pool);
+                                  par::ThreadPool& pool,
+                                  const par::CancelToken* cancel) {
+  const NetworkRun run = run_network_replicates(section, pt, pool, cancel);
   const core::LaterStages ls(analytic_traffic(pt));
   const double level = section.budget.ci_level;
 
@@ -251,23 +278,103 @@ PointResult run_total_delay_point(const Section& section, const Point& pt,
   return result;
 }
 
+PointResult run_point(const Section& section, const Point& pt,
+                      par::ThreadPool& pool,
+                      const par::CancelToken* cancel) {
+  switch (section.kind) {
+    case SectionKind::kStageConvergence:
+      return run_stage_convergence_point(section, pt, pool, cancel);
+    case SectionKind::kTotalDelay:
+      return run_total_delay_point(section, pt, pool, cancel);
+    case SectionKind::kFirstStage:
+      break;
+  }
+  return run_first_stage_point(section, pt, pool, cancel);
+}
+
+SectionResult run_section_with(const Section& section, par::ThreadPool& pool,
+                               const RunOptions& options) {
+  SectionResult result;
+  result.section = section;
+  for (std::size_t idx = 0; idx < section.points.size(); ++idx) {
+    const Point& pt = section.points[idx];
+    if (options.cancel != nullptr && options.cancel->requested())
+      throw interrupted_error("sweep cancelled before point '" + pt.label() +
+                              "' of section '" + section.id + "'");
+    if (options.journal != nullptr) {
+      if (const PointResult* done = options.journal->find(section.id, idx)) {
+        result.points.push_back(*done);
+        continue;
+      }
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+
+    // Deterministic fault site: stretch this point's wall time so the soft
+    // deadline and kill/resume paths can be exercised on a fast machine.
+    fault::maybe_delay("point.slow");
+
+    PointResult point_result;
+    try {
+      point_result = run_point(section, pt, pool, options.cancel);
+    } catch (const Error& e) {
+      if (e.kind() == ErrorKind::kInterrupted) throw;
+      point_result.point = pt;
+      point_result.label = pt.label();
+      point_result.degraded = true;
+      point_result.degrade_reason = e.what();
+    } catch (const std::exception& e) {
+      point_result.point = pt;
+      point_result.label = pt.label();
+      point_result.degraded = true;
+      point_result.degrade_reason = e.what();
+    }
+
+    if (!point_result.degraded && options.point_timeout_ms > 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      if (elapsed > options.point_timeout_ms) {
+        // The numbers are kept (the point did finish, and aborting
+        // mid-flight would make results machine-speed dependent); the
+        // point is only flagged and left out of the journal so a resumed
+        // run retries it.
+        point_result.degraded = true;
+        point_result.degrade_reason =
+            "exceeded soft point deadline (" + std::to_string(elapsed) +
+            " ms > " + std::to_string(options.point_timeout_ms) + " ms)";
+      }
+    }
+
+    if (options.journal != nullptr && !point_result.degraded)
+      options.journal->record(section.id, idx, point_result);
+    result.points.push_back(std::move(point_result));
+  }
+  return result;
+}
+
 }  // namespace
 
 SectionResult run_section(const Section& section, par::ThreadPool& pool) {
-  SectionResult result;
-  result.section = section;
-  for (const Point& pt : section.points) {
-    switch (section.kind) {
-      case SectionKind::kFirstStage:
-        result.points.push_back(run_first_stage_point(section, pt, pool));
-        break;
-      case SectionKind::kStageConvergence:
-        result.points.push_back(
-            run_stage_convergence_point(section, pt, pool));
-        break;
-      case SectionKind::kTotalDelay:
-        result.points.push_back(run_total_delay_point(section, pt, pool));
-        break;
+  return run_section_with(section, pool, RunOptions{});
+}
+
+SweepResult run_sweep(const Manifest& manifest, par::ThreadPool& pool,
+                      const RunOptions& options) {
+  SweepResult result;
+  for (std::size_t i = 0; i < manifest.sections.size(); ++i) {
+    const Section& section = manifest.sections[i];
+    result.sections.push_back(run_section_with(section, pool, options));
+    if (options.progress != nullptr) {
+      const SectionResult& done = result.sections.back();
+      *options.progress << "[" << (i + 1) << "/" << manifest.sections.size()
+                        << "] " << section.id << ": " << done.points.size()
+                        << " points, " << done.cells_gated() << " gates, "
+                        << done.cells_failed() << " failed";
+      if (done.points_degraded() > 0)
+        *options.progress << ", " << done.points_degraded() << " degraded";
+      *options.progress << "\n";
     }
   }
   return result;
@@ -275,19 +382,9 @@ SectionResult run_section(const Section& section, par::ThreadPool& pool) {
 
 SweepResult run_sweep(const Manifest& manifest, par::ThreadPool& pool,
                       std::ostream* progress) {
-  SweepResult result;
-  for (std::size_t i = 0; i < manifest.sections.size(); ++i) {
-    const Section& section = manifest.sections[i];
-    result.sections.push_back(run_section(section, pool));
-    if (progress != nullptr) {
-      const SectionResult& done = result.sections.back();
-      *progress << "[" << (i + 1) << "/" << manifest.sections.size() << "] "
-                << section.id << ": " << done.points.size() << " points, "
-                << done.cells_gated() << " gates, "
-                << done.cells_failed() << " failed\n";
-    }
-  }
-  return result;
+  RunOptions options;
+  options.progress = progress;
+  return run_sweep(manifest, pool, options);
 }
 
 }  // namespace ksw::sweep

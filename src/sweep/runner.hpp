@@ -39,6 +39,14 @@ struct PointResult {
   std::string label;
   std::uint64_t samples = 0;  ///< messages/packets measured (all replicates)
   std::vector<Cell> cells;
+  /// A degraded point failed to compute (a replicate threw, the analytic
+  /// model hit a numeric error) or blew through the soft per-point
+  /// deadline. Degraded points keep whatever cells they produced, carry
+  /// the reason, are excluded from gate counting when empty, and are never
+  /// checkpointed — a resumed run retries them. A run with degraded points
+  /// exits with ksw::kExitDegraded rather than failing the gates.
+  bool degraded = false;
+  std::string degrade_reason;
 
   [[nodiscard]] bool pass() const;
 };
@@ -49,6 +57,7 @@ struct SectionResult {
 
   [[nodiscard]] unsigned cells_gated() const;
   [[nodiscard]] unsigned cells_failed() const;
+  [[nodiscard]] unsigned points_degraded() const;
 };
 
 struct SweepResult {
@@ -56,15 +65,48 @@ struct SweepResult {
 
   [[nodiscard]] unsigned cells_gated() const;
   [[nodiscard]] unsigned cells_failed() const;
+  [[nodiscard]] unsigned points_degraded() const;
   [[nodiscard]] bool pass() const { return cells_failed() == 0; }
 };
 
-/// Run one section (exposed for tests and --section filtering).
+class Journal;
+
+/// Resilience knobs for a sweep run. All default to off, reproducing the
+/// historic run_sweep behavior exactly.
+struct RunOptions {
+  /// Checked between grid points and inside the replicate fan-out; when it
+  /// fires, run_sweep throws ksw::Error(kInterrupted) (it does NOT degrade
+  /// the in-flight point — interruption is the caller's signal, not a
+  /// model failure).
+  const par::CancelToken* cancel = nullptr;
+  /// When set, completed points are read from / recorded to the journal:
+  /// already-journaled points are skipped wholesale (their recorded result
+  /// is reused bit-exactly) and each newly completed clean point is
+  /// persisted before the next one starts.
+  Journal* journal = nullptr;
+  /// Soft per-point wall-clock deadline in milliseconds (0 = off). Points
+  /// are never aborted mid-flight — that would make the emitted numbers
+  /// depend on machine speed; instead a point that finishes over deadline
+  /// is marked degraded (and not journaled) while the sweep continues.
+  std::int64_t point_timeout_ms = 0;
+  /// One line per section as it completes, when non-null.
+  std::ostream* progress = nullptr;
+};
+
+/// Run one section (exposed for tests and --section filtering). A point
+/// whose computation throws (other than kInterrupted) is marked degraded
+/// and the remaining points still run.
 [[nodiscard]] SectionResult run_section(const Section& section,
                                         par::ThreadPool& pool);
 
-/// Run every section of the manifest. `progress`, when non-null, receives
-/// one line per section as it completes.
+/// Run every section of the manifest with resilience options.
+[[nodiscard]] SweepResult run_sweep(const Manifest& manifest,
+                                    par::ThreadPool& pool,
+                                    const RunOptions& options);
+
+/// Back-compatible convenience overload (no cancellation, journal, or
+/// deadline). `progress`, when non-null, receives one line per section as
+/// it completes.
 [[nodiscard]] SweepResult run_sweep(const Manifest& manifest,
                                     par::ThreadPool& pool,
                                     std::ostream* progress = nullptr);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "support/error.hpp"
 
 namespace ksw::cli {
 namespace {
@@ -44,10 +45,10 @@ TEST(ArgMap, FallbacksForMissingKeys) {
 }
 
 TEST(ArgMap, RejectsMalformedInput) {
-  EXPECT_THROW(ArgMap::parse({"--=x"}), std::invalid_argument);
+  EXPECT_THROW(ArgMap::parse({"--=x"}), ksw::Error);
   const auto args = ArgMap::parse({"--k=abc", "--f=maybe"});
-  EXPECT_THROW(args.get_unsigned("k", 1), std::invalid_argument);
-  EXPECT_THROW(args.get_flag("f"), std::invalid_argument);
+  EXPECT_THROW(args.get_unsigned("k", 1), ksw::Error);
+  EXPECT_THROW(args.get_flag("f"), ksw::Error);
 }
 
 TEST(ArgMap, TracksUnusedOptions) {
@@ -60,7 +61,7 @@ TEST(ArgMap, TracksUnusedOptions) {
 
 TEST(ArgMap, OutOfRangeUnsigned) {
   const auto args = ArgMap::parse({"--n=-3"});
-  EXPECT_THROW(args.get_unsigned("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_unsigned("n", 0), ksw::Error);
 }
 
 // ---------------------------------------------------------------------------
@@ -141,13 +142,13 @@ TEST(Analyze, DistributionOption) {
 
 TEST(Analyze, UnstableLoadReportsError) {
   const auto r = invoke({"analyze", "--k=2", "--p=1.0"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 6);  // numeric error (saturated queue)
   EXPECT_NE(r.err.find("rho"), std::string::npos);
 }
 
 TEST(Analyze, NonuniformRequiresSquareSwitch) {
   const auto r = invoke({"analyze", "--k=4", "--s=2", "--q=0.5"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);  // usage error
   EXPECT_NE(r.err.find("k == s"), std::string::npos);
 }
 
@@ -172,7 +173,7 @@ TEST(Network, CustomQuantiles) {
   EXPECT_EQ(r.code, 0);
   EXPECT_NE(r.out.find("p50 wait"), std::string::npos);
   const auto bad = invoke({"network", "--quantiles=1.5"});
-  EXPECT_EQ(bad.code, 1);
+  EXPECT_EQ(bad.code, 2);  // usage error
 }
 
 TEST(Network, FractionalQuantileLabels) {
@@ -204,14 +205,14 @@ TEST(Simulate, ReplicatesAreDeterministic) {
 TEST(Simulate, RejectsDuplicateCheckpoints) {
   const auto r = invoke({"simulate", "--stages=3", "--cycles=1000",
                          "--checkpoints=3,3"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);  // usage error
   EXPECT_NE(r.err.find("strictly increasing"), std::string::npos);
 }
 
 TEST(Simulate, RejectsUnsortedCheckpoints) {
   const auto r = invoke({"simulate", "--stages=3", "--cycles=1000",
                          "--checkpoints=6,3"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);  // usage error
   EXPECT_NE(r.err.find("strictly increasing"), std::string::npos);
 }
 
@@ -269,7 +270,7 @@ TEST(Simulate, OmegaTopologySelectable) {
                          "--topology=omega", "--format=csv"});
   EXPECT_EQ(r.code, 0);
   const auto bad = invoke({"simulate", "--topology=mesh"});
-  EXPECT_EQ(bad.code, 1);
+  EXPECT_EQ(bad.code, 2);  // usage error
   EXPECT_NE(bad.err.find("butterfly|omega"), std::string::npos);
 }
 
@@ -290,6 +291,21 @@ TEST(Usage, MentionsEverySimulateOption) {
   for (const char* opt : options)
     EXPECT_NE(r.out.find(opt), std::string::npos)
         << "usage text omits " << opt;
+}
+
+// Same guard for the resilience options of reproduce.
+TEST(Usage, MentionsEveryReproduceResilienceOption) {
+  const auto r = invoke({"reproduce", "--help"});
+  ASSERT_EQ(r.code, 0);
+  const char* options[] = {"--resume", "--checkpoint=", "--point-timeout=",
+                           "--fault-plan=", "--section=", "--check"};
+  for (const char* opt : options)
+    EXPECT_NE(r.out.find(opt), std::string::npos)
+        << "usage text omits " << opt;
+  // The exit-code contract is part of the help text.
+  EXPECT_NE(r.out.find("exit codes"), std::string::npos);
+  EXPECT_NE(r.out.find("130"), std::string::npos);
+  EXPECT_NE(r.out.find("KSW_FAULTS"), std::string::npos);
 }
 
 TEST(Reproduce, ListPrintsSectionsWithoutRunning) {
@@ -313,13 +329,13 @@ TEST(Reproduce, PaperManifestParsesAndSmokeSectionRuns) {
 
 TEST(Reproduce, MissingManifestFails) {
   const auto r = invoke({"reproduce", "--manifest=/no/such.json"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 5);  // I/O error
   EXPECT_NE(r.err.find("cannot open"), std::string::npos);
 }
 
 TEST(Reproduce, ManifestArgumentIsRequired) {
   const auto r = invoke({"reproduce"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);  // usage error
   EXPECT_NE(r.err.find("manifest"), std::string::npos);
 }
 
@@ -327,7 +343,7 @@ TEST(Reproduce, UnknownSectionIdFails) {
   const auto r = invoke({"reproduce",
                          "--manifest=" KSW_MANIFEST_DIR "/smoke.json",
                          "--section=nope", "--list"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);  // usage error
   EXPECT_NE(r.err.find("nope"), std::string::npos);
 }
 

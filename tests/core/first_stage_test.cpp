@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <tuple>
 
 #include "core/closed_forms.hpp"
 #include "core/mg1.hpp"
+#include "support/error.hpp"
 
 namespace ksw::core {
 namespace {
@@ -305,14 +307,35 @@ TEST(FirstStage, DelayAddsService) {
 }
 
 TEST(FirstStage, RejectsUnstableAndDegenerate) {
-  EXPECT_THROW(FirstStage(uniform_unit_spec(2, 2, 1.0)),
-               std::invalid_argument);  // rho = 1
+  // Saturated / overloaded queues are numeric errors (typed, so the CLI
+  // maps them to the numeric exit code and can suggest a rho cap).
+  try {
+    FirstStage fs(uniform_unit_spec(2, 2, 1.0));  // rho = 1
+    FAIL() << "expected ksw::Error";
+  } catch (const ksw::Error& e) {
+    EXPECT_EQ(e.kind(), ksw::ErrorKind::kNumeric);
+    EXPECT_NE(std::string(e.what()).find("rho"), std::string::npos);
+  }
   QueueSpec overloaded{
       std::shared_ptr<ArrivalModel>(make_uniform_arrivals(2, 2, 0.6)),
       std::make_shared<DeterministicService>(2)};  // rho = 1.2
-  EXPECT_THROW(FirstStage{overloaded}, std::invalid_argument);
+  EXPECT_THROW(FirstStage{overloaded}, ksw::Error);
   QueueSpec null_model{nullptr, std::make_shared<DeterministicService>(1)};
   EXPECT_THROW(FirstStage{null_model}, std::invalid_argument);
+}
+
+TEST(FirstStage, RejectsLoadsInsideTheSaturationMargin) {
+  // rho within 1e-6 of 1 is rejected up front with the suggested cap
+  // rather than surfacing later as an ill-conditioned series division.
+  try {
+    FirstStage fs(uniform_unit_spec(1, 1, 1.0 - 1e-9));
+    FAIL() << "expected ksw::Error";
+  } catch (const ksw::Error& e) {
+    EXPECT_EQ(e.kind(), ksw::ErrorKind::kNumeric);
+    EXPECT_NE(std::string(e.what()).find("saturation"), std::string::npos);
+  }
+  // Comfortably below the margin still constructs.
+  EXPECT_NO_THROW(FirstStage(uniform_unit_spec(1, 1, 0.999)));
 }
 
 TEST(UnfinishedWork, DistributionIsNormalized) {

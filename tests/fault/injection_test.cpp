@@ -1,0 +1,150 @@
+#include "fault/injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "fault/plan.hpp"
+#include "io/json.hpp"
+#include "support/error.hpp"
+
+namespace ksw::fault {
+namespace {
+
+/// Every test leaves the global registry clean, so ordering cannot leak
+/// armed sites between cases.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_all(); }
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FaultTest, InertByDefault) {
+  EXPECT_FALSE(any_armed());
+  EXPECT_FALSE(should_fire("replicate.throw"));
+  EXPECT_NO_THROW(maybe_fail("replicate.throw"));
+  EXPECT_NO_THROW(maybe_delay("point.slow"));
+}
+
+TEST_F(FaultTest, KnownSitesAreDocumented) {
+  const auto& sites = known_sites();
+  EXPECT_EQ(sites.size(), 5u);
+  for (const char* site : {"replicate.throw", "point.slow", "io.open",
+                           "io.write", "series.near-singular"})
+    EXPECT_TRUE(is_known_site(site)) << site;
+  EXPECT_FALSE(is_known_site("nope"));
+}
+
+TEST_F(FaultTest, ArmRejectsUnknownSite) {
+  try {
+    arm("definitely.not.a.site");
+    FAIL() << "expected ksw::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kUsage);
+  }
+}
+
+TEST_F(FaultTest, FiresExactlyOnceOnConfiguredVisit) {
+  SiteSpec spec;
+  spec.fire_at = 3;
+  arm("replicate.throw", spec);
+  EXPECT_TRUE(any_armed());
+  EXPECT_FALSE(should_fire("replicate.throw"));  // visit 1
+  EXPECT_FALSE(should_fire("replicate.throw"));  // visit 2
+  EXPECT_TRUE(should_fire("replicate.throw"));   // visit 3 fires
+  EXPECT_FALSE(should_fire("replicate.throw"));  // never again
+  EXPECT_FALSE(any_armed());
+}
+
+TEST_F(FaultTest, MaybeFailThrowsInjectedFault) {
+  arm("replicate.throw");
+  EXPECT_THROW(maybe_fail("replicate.throw"), InjectedFault);
+  // Fired once; subsequent visits are clean.
+  EXPECT_NO_THROW(maybe_fail("replicate.throw"));
+}
+
+TEST_F(FaultTest, InjectedFaultIsNotATypedError) {
+  // The site models an unclassified crash, so it must NOT be caught by
+  // `catch (const ksw::Error&)` taxonomy handlers.
+  arm("replicate.throw");
+  try {
+    maybe_fail("replicate.throw");
+    FAIL() << "expected InjectedFault";
+  } catch (const Error&) {
+    FAIL() << "InjectedFault must not derive from ksw::Error";
+  } catch (const InjectedFault&) {
+    SUCCEED();
+  }
+}
+
+TEST_F(FaultTest, MaybeDelaySleepsForArmedDuration) {
+  SiteSpec spec;
+  spec.delay_ms = 30;
+  arm("point.slow", spec);
+  const auto start = std::chrono::steady_clock::now();
+  maybe_delay("point.slow");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 25);  // allow scheduler slop below the nominal 30 ms
+}
+
+TEST_F(FaultTest, SpecGrammarParsesCountAndDelay) {
+  arm_from_spec("replicate.throw@2,point.slow:40");
+  EXPECT_TRUE(any_armed());
+  EXPECT_FALSE(should_fire("replicate.throw"));  // fire_at=2
+  EXPECT_TRUE(should_fire("replicate.throw"));
+  EXPECT_TRUE(should_fire("point.slow"));
+}
+
+TEST_F(FaultTest, SpecGrammarRejectsGarbage) {
+  EXPECT_THROW(arm_from_spec("replicate.throw@"), Error);
+  EXPECT_THROW(arm_from_spec("replicate.throw@zero"), Error);
+  EXPECT_THROW(arm_from_spec("replicate.throw@0"), Error);
+  EXPECT_THROW(arm_from_spec("unknown.site"), Error);
+  EXPECT_FALSE(any_armed());
+}
+
+TEST_F(FaultTest, PlanArmsSitesStrictly) {
+  const io::Json doc = io::Json::parse(R"({
+    "schema": "ksw.faults/v1",
+    "sites": {
+      "replicate.throw": { "fire_at": 2 },
+      "point.slow": { "delay_ms": 10 }
+    }
+  })");
+  arm_from_plan(doc);
+  EXPECT_TRUE(any_armed());
+  EXPECT_FALSE(should_fire("replicate.throw"));
+  EXPECT_TRUE(should_fire("replicate.throw"));
+}
+
+TEST_F(FaultTest, PlanRejectsSchemaViolations) {
+  EXPECT_THROW(arm_from_plan(io::Json::parse(
+                   R"({"schema":"ksw.faults/v2","sites":{}})")),
+               Error);
+  EXPECT_THROW(arm_from_plan(io::Json::parse(
+                   R"({"schema":"ksw.faults/v1","sites":{},"x":1})")),
+               Error);
+  EXPECT_THROW(
+      arm_from_plan(io::Json::parse(
+          R"({"schema":"ksw.faults/v1","sites":{"nope":{}}})")),
+      Error);
+  EXPECT_THROW(
+      arm_from_plan(io::Json::parse(
+          R"({"schema":"ksw.faults/v1",
+              "sites":{"point.slow":{"typo_ms":1}}})")),
+      Error);
+}
+
+TEST_F(FaultTest, LoadPlanReportsMissingFileAsIo) {
+  try {
+    load_plan("/no/such/plan.json");
+    FAIL() << "expected ksw::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+  }
+}
+
+}  // namespace
+}  // namespace ksw::fault

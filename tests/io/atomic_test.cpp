@@ -1,0 +1,101 @@
+#include "io/atomic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/injection.hpp"
+#include "support/error.hpp"
+
+namespace ksw::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class AtomicWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm_all();
+    dir_ = fs::temp_directory_path() /
+           ("ksw-atomic-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    fault::disarm_all();
+    fs::remove_all(dir_);
+  }
+  fs::path dir_;
+};
+
+TEST_F(AtomicWriteTest, WritesContentAndCreatesParents) {
+  const fs::path target = dir_ / "a" / "b" / "out.txt";
+  atomic_write_file(target.string(), "hello\n");
+  EXPECT_EQ(slurp(target), "hello\n");
+}
+
+TEST_F(AtomicWriteTest, OverwritesExistingFile) {
+  const fs::path target = dir_ / "out.txt";
+  atomic_write_file(target.string(), "first");
+  atomic_write_file(target.string(), "second");
+  EXPECT_EQ(slurp(target), "second");
+}
+
+TEST_F(AtomicWriteTest, LeavesNoTempFileBehind) {
+  const fs::path target = dir_ / "out.txt";
+  atomic_write_file(target.string(), "payload");
+  unsigned files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(AtomicWriteTest, InjectedOpenFailureIsTypedIoError) {
+  const fs::path target = dir_ / "out.txt";
+  fault::arm("io.open");
+  try {
+    atomic_write_file(target.string(), "payload");
+    FAIL() << "expected ksw::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+  }
+  // No target and no temp litter after the failure.
+  EXPECT_FALSE(fs::exists(target));
+}
+
+TEST_F(AtomicWriteTest, InjectedWriteFailureLeavesOldContentIntact) {
+  const fs::path target = dir_ / "out.txt";
+  atomic_write_file(target.string(), "old");
+  fault::arm("io.write");
+  EXPECT_THROW(atomic_write_file(target.string(), "new"), Error);
+  // The failed write must not have truncated or replaced the target.
+  EXPECT_EQ(slurp(target), "old");
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, UnwritableParentIsTypedIoError) {
+  try {
+    atomic_write_file("/proc/ksw-definitely-not-writable/out.txt", "x");
+    FAIL() << "expected ksw::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+  }
+}
+
+}  // namespace
+}  // namespace ksw::io

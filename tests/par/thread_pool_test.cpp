@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "par/cancel.hpp"
+#include "support/error.hpp"
 
 namespace ksw::par {
 namespace {
@@ -137,6 +139,71 @@ TEST(ThreadPool, AttachMetricsRecordsTaskTelemetry) {
   pool.wait_idle();
   if constexpr (obs::kEnabled) {
     EXPECT_EQ(reg.counter("pool.tasks").value(), 20u);
+  }
+}
+
+TEST(ParallelFor, AbortOnErrorSkipsPendingIndices) {
+  // One worker drains indices strictly in order, so everything after the
+  // throwing index must be skipped, not executed.
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(parallel_for(pool, 1000,
+                            [&](std::size_t i) {
+                              executed.fetch_add(1);
+                              if (i == 4) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 1000);
+}
+
+TEST(ParallelFor, CancelTokenThrowsTypedInterruptedError) {
+  ThreadPool pool(2);
+  CancelToken cancel;
+  cancel.request();
+  std::atomic<int> executed{0};
+  try {
+    parallel_for(pool, 100, [&](std::size_t) { executed.fetch_add(1); },
+                 &cancel);
+    FAIL() << "expected ksw::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kInterrupted);
+  }
+  // Pre-cancelled token: no index ever runs.
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ParallelForChunks, CancelTokenThrowsTypedInterruptedError) {
+  ThreadPool pool(2);
+  CancelToken cancel;
+  cancel.request();
+  std::atomic<int> executed{0};
+  try {
+    parallel_for_chunks(pool, 100,
+                        [&](std::size_t) { executed.fetch_add(1); }, &cancel);
+    FAIL() << "expected ksw::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kInterrupted);
+  }
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ParallelForChunks, BodyExceptionWinsOverCancellation) {
+  // When a body throws and cancellation is also requested, the body's
+  // exception is the root cause and must be the one rethrown.
+  ThreadPool pool(1);
+  CancelToken cancel;
+  try {
+    parallel_for_chunks(pool, 10,
+                        [&](std::size_t i) {
+                          if (i == 2) {
+                            cancel.request();
+                            throw std::runtime_error("root-cause");
+                          }
+                        },
+                        &cancel);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "root-cause");
   }
 }
 

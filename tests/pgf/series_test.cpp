@@ -5,6 +5,8 @@
 #include <array>
 #include <cmath>
 
+#include "support/error.hpp"
+
 namespace ksw::pgf {
 namespace {
 
@@ -81,20 +83,26 @@ TEST(Series, DivideGeometric) {
 TEST(Series, DivideRejectsZeroConstant) {
   Series n(4), d(4);
   n[0] = 1.0;
-  EXPECT_THROW(Series::divide(n, d), std::invalid_argument);
+  EXPECT_THROW(Series::divide(n, d), ksw::Error);
 }
 
 TEST(Series, DivideRejectsNearZeroConstant) {
   // Regression: a denominator constant term within rounding noise of zero
   // used to divide through and amplify into garbage coefficients; it must
-  // fail as loudly as an exact zero.
+  // fail as loudly as an exact zero — and as a typed numeric error, so the
+  // CLI can map it to the numeric exit code.
   Series n(4), d(4);
   n[0] = 1.0;
   d[0] = 1e-15;
   d[1] = 1.0;
-  EXPECT_THROW(Series::divide(n, d), std::invalid_argument);
+  try {
+    Series::divide(n, d);
+    FAIL() << "expected ksw::Error";
+  } catch (const ksw::Error& e) {
+    EXPECT_EQ(e.kind(), ksw::ErrorKind::kNumeric);
+  }
   d[0] = -1e-15;
-  EXPECT_THROW(Series::divide(n, d), std::invalid_argument);
+  EXPECT_THROW(Series::divide(n, d), ksw::Error);
   // Just above the documented threshold is accepted.
   d[0] = 2.0 * Series::kDivideEpsilon;
   EXPECT_NO_THROW(Series::divide(n, d));

@@ -1,0 +1,163 @@
+#include "sweep/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace ksw::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+PointResult sample_result() {
+  PointResult r;
+  r.point.k = 4;
+  r.point.p = 0.3;
+  r.point.service = "geo:0.25";
+  r.label = r.point.label();
+  r.samples = 123456789ull;
+  Cell cell;
+  cell.metric = "E[w]";
+  // Deliberately irrational values: the journal must round-trip the exact
+  // bit patterns, not a 12-digit decimal rendering.
+  cell.analytic = std::sqrt(2.0) / 3.0;
+  cell.simulated = M_PI / 7.0;
+  cell.ci_half = 1.0 / 3.0;
+  cell.rel_error = 0.123456789012345678;
+  cell.mean_like = true;
+  cell.gated = true;
+  cell.pass = false;
+  r.cells.push_back(cell);
+  cell.metric = "Var[w]";
+  cell.mean_like = false;
+  cell.pass = true;
+  r.cells.push_back(cell);
+  return r;
+}
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() /
+             ("ksw-journal-" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()) +
+              ".jsonl"))
+                .string();
+    Journal::remove_file(path_);
+  }
+  void TearDown() override { Journal::remove_file(path_); }
+  std::string path_;
+};
+
+TEST(ManifestFingerprint, StableAndSensitive) {
+  const std::string text = "{\"schema\":\"ksw.sweep/v1\"}";
+  EXPECT_EQ(manifest_fingerprint(text), manifest_fingerprint(text));
+  EXPECT_NE(manifest_fingerprint(text), manifest_fingerprint(text + " "));
+  EXPECT_FALSE(manifest_fingerprint(text).empty());
+}
+
+TEST_F(JournalTest, RoundTripsPointResultsBitExactly) {
+  const PointResult original = sample_result();
+  {
+    Journal journal(path_, "fp");
+    journal.record("uniform", 2, original);
+  }
+  Journal reloaded = Journal::load_or_create(path_, "fp");
+  ASSERT_EQ(reloaded.size(), 1u);
+  const PointResult* read = reloaded.find("uniform", 2);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->label, original.label);
+  EXPECT_EQ(read->samples, original.samples);
+  EXPECT_EQ(read->point, original.point);
+  ASSERT_EQ(read->cells.size(), original.cells.size());
+  for (std::size_t i = 0; i < original.cells.size(); ++i) {
+    // Bit-exact, not approximately equal: resumed books must be
+    // byte-identical to uninterrupted ones.
+    EXPECT_EQ(read->cells[i].metric, original.cells[i].metric);
+    EXPECT_EQ(read->cells[i].analytic, original.cells[i].analytic);
+    EXPECT_EQ(read->cells[i].simulated, original.cells[i].simulated);
+    EXPECT_EQ(read->cells[i].ci_half, original.cells[i].ci_half);
+    EXPECT_EQ(read->cells[i].rel_error, original.cells[i].rel_error);
+    EXPECT_EQ(read->cells[i].mean_like, original.cells[i].mean_like);
+    EXPECT_EQ(read->cells[i].gated, original.cells[i].gated);
+    EXPECT_EQ(read->cells[i].pass, original.cells[i].pass);
+  }
+}
+
+TEST_F(JournalTest, KeysBySectionAndIndex) {
+  Journal journal(path_, "fp");
+  journal.record("a", 0, sample_result());
+  journal.record("b", 0, sample_result());
+  journal.record("a", 1, sample_result());
+  EXPECT_EQ(journal.size(), 3u);
+  EXPECT_TRUE(journal.has("a", 0));
+  EXPECT_TRUE(journal.has("b", 0));
+  EXPECT_TRUE(journal.has("a", 1));
+  EXPECT_FALSE(journal.has("b", 1));
+  EXPECT_FALSE(journal.has("c", 0));
+}
+
+TEST_F(JournalTest, MissingFileStartsEmpty) {
+  const Journal journal = Journal::load_or_create(path_, "fp");
+  EXPECT_EQ(journal.size(), 0u);
+  // Nothing recorded: no file is created either.
+  EXPECT_FALSE(fs::exists(path_));
+}
+
+TEST_F(JournalTest, FingerprintMismatchIsUsageError) {
+  {
+    Journal journal(path_, "old-fingerprint");
+    journal.record("uniform", 0, sample_result());
+  }
+  try {
+    Journal::load_or_create(path_, "new-fingerprint");
+    FAIL() << "expected ksw::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kUsage);
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos);
+  }
+}
+
+TEST_F(JournalTest, CorruptJournalIsIoError) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "{\"schema\":\"ksw.checkpoint/v1\",\"fingerprint\":\"fp\"}\n";
+    out << "this is not json\n";
+  }
+  try {
+    Journal::load_or_create(path_, "fp");
+    FAIL() << "expected ksw::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+  }
+}
+
+TEST_F(JournalTest, FileOnDiskIsAlwaysACompleteSnapshot) {
+  Journal journal(path_, "fp");
+  journal.record("a", 0, sample_result());
+  // Reload after every record: the on-disk state must parse and contain
+  // everything recorded so far (atomic whole-file rewrite).
+  EXPECT_EQ(Journal::load_or_create(path_, "fp").size(), 1u);
+  journal.record("a", 1, sample_result());
+  EXPECT_EQ(Journal::load_or_create(path_, "fp").size(), 2u);
+}
+
+TEST_F(JournalTest, RemoveFileIsIdempotent) {
+  {
+    Journal journal(path_, "fp");
+    journal.record("a", 0, sample_result());
+  }
+  EXPECT_TRUE(fs::exists(path_));
+  Journal::remove_file(path_);
+  EXPECT_FALSE(fs::exists(path_));
+  Journal::remove_file(path_);  // second remove: no error
+}
+
+}  // namespace
+}  // namespace ksw::sweep

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "io/json.hpp"
+#include "support/error.hpp"
 
 namespace ksw::sweep {
 namespace {
@@ -96,21 +97,21 @@ TEST(Manifest, PointLabelListsOnlyNonDefaults) {
 TEST(Manifest, RejectsWrongSchema) {
   EXPECT_THROW(parse("{\"schema\":\"ksw.sweep/v2\",\"name\":\"t\","
                      "\"title\":\"T\",\"sections\":[" + section() + "]}"),
-               std::invalid_argument);
+               ksw::Error);
 }
 
 TEST(Manifest, RejectsUnknownKeysEverywhere) {
   EXPECT_THROW(parse(doc(section(), R"(,"tpyo":1)")),
-               std::invalid_argument);
-  EXPECT_THROW(parse(doc(section(R"(,"tpyo":1)"))), std::invalid_argument);
+               ksw::Error);
+  EXPECT_THROW(parse(doc(section(R"(,"tpyo":1)"))), ksw::Error);
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{"axes":{"p":[0.2]},"tpyo":1}})")),
-               std::invalid_argument);
+               ksw::Error);
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{"points":[{"p":0.2,"tpyo":1}]}})")),
-               std::invalid_argument);
+               ksw::Error);
 }
 
 TEST(Manifest, RejectsBadGrids) {
@@ -118,54 +119,54 @@ TEST(Manifest, RejectsBadGrids) {
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{}})")),
-               std::invalid_argument);
+               ksw::Error);
   // Axis with an empty value list produces no points.
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{"axes":{"p":[]}}})")),
-               std::invalid_argument);
+               ksw::Error);
   // Out-of-range parameter values.
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{"points":[{"p":1.5}]}})")),
-               std::invalid_argument);
+               ksw::Error);
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{"points":[{"q":1.0}]}})")),
-               std::invalid_argument);
+               ksw::Error);
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{"points":[{"k":0}]}})")),
-               std::invalid_argument);
+               ksw::Error);
   // Malformed service specs are validated eagerly at parse time.
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{"points":[{"service":"det:0"}]}})")),
-               std::invalid_argument);
+               ksw::Error);
 }
 
 TEST(Manifest, RejectsDuplicatePoints) {
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{"points":[{"p":0.5},{"p":0.5}]}})")),
-               std::invalid_argument);
+               ksw::Error);
   // A point duplicated between the axes expansion and the explicit list.
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"first_stage",
                        "grid":{"axes":{"p":[0.5]},"points":[{"p":0.5}]}})")),
-               std::invalid_argument);
+               ksw::Error);
 }
 
 TEST(Manifest, RejectsDuplicateSectionIds) {
   EXPECT_THROW(parse(doc(section() + "," + section())),
-               std::invalid_argument);
+               ksw::Error);
 }
 
 TEST(Manifest, RejectsBadSectionIds) {
   EXPECT_THROW(parse(doc(
                    R"({"id":"Bad_Id","title":"G","kind":"first_stage",
                        "grid":{"axes":{"p":[0.2]}}})")),
-               std::invalid_argument);
+               ksw::Error);
 }
 
 TEST(Manifest, RejectsBadCheckpoints) {
@@ -177,9 +178,9 @@ TEST(Manifest, RejectsBadCheckpoints) {
     s.replace(s.find("%s"), 2, cps);
     return doc(s);
   };
-  EXPECT_THROW(parse(with("[3,3]")), std::invalid_argument);
-  EXPECT_THROW(parse(with("[6,3]")), std::invalid_argument);
-  EXPECT_THROW(parse(with("[3,9]")), std::invalid_argument);
+  EXPECT_THROW(parse(with("[3,3]")), ksw::Error);
+  EXPECT_THROW(parse(with("[6,3]")), ksw::Error);
+  EXPECT_THROW(parse(with("[3,9]")), ksw::Error);
   EXPECT_NO_THROW(parse(with("[3,6]")));
 }
 
@@ -195,12 +196,12 @@ TEST(Manifest, NetworkSectionsRequireSquareSwitches) {
   EXPECT_THROW(parse(doc(
                    R"({"id":"g","title":"G","kind":"stage_convergence",
                        "grid":{"points":[{"k":4,"s":2}]}})")),
-               std::invalid_argument);
+               ksw::Error);
 }
 
 TEST(Manifest, RejectsTinyReplicateCounts) {
   EXPECT_THROW(parse(doc(section(R"(,"replicates":1)"))),
-               std::invalid_argument);
+               ksw::Error);
 }
 
 TEST(Manifest, KindNamesRoundTrip) {
@@ -212,7 +213,7 @@ TEST(Manifest, KindNamesRoundTrip) {
 
 TEST(Manifest, LoadManifestReportsMissingFile) {
   EXPECT_THROW(load_manifest("/nonexistent/path.json"),
-               std::invalid_argument);
+               ksw::Error);
 }
 
 }  // namespace
