@@ -6,6 +6,7 @@
 //   simulate   cycle-accurate network simulation
 //   calibrate  re-fit the Section IV interpolation constants
 //   reproduce  regenerate the paper-reproduction book from a manifest
+//   serve      long-lived analytic query service (ksw.query/v1 JSONL)
 //
 // All commands accept --format=table|json|csv. Command logic is exposed as
 // functions over streams so the test suite can drive it directly.
@@ -69,6 +70,7 @@ int cmd_network(const ArgMap& args, std::ostream& out, std::ostream& err);
 int cmd_simulate(const ArgMap& args, std::ostream& out, std::ostream& err);
 int cmd_calibrate(const ArgMap& args, std::ostream& out, std::ostream& err);
 int cmd_reproduce(const ArgMap& args, std::ostream& out, std::ostream& err);
+int cmd_serve(const ArgMap& args, std::ostream& out, std::ostream& err);
 
 /// Top-level dispatch (args excludes argv[0]).
 int run(const std::vector<std::string>& args, std::ostream& out,

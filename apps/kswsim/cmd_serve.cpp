@@ -1,0 +1,104 @@
+// kswsim serve — long-lived analytic query service (ksw.query/v1).
+//
+//   kswsim serve [--listen=SOCKET] [--threads=T] [--batch=N]
+//                [--cache-mb=MB] [--deadline-ms=MS] [--metrics-out=FILE|-]
+//
+// Reads JSONL requests from stdin (or accepts connections on a Unix
+// socket with --listen) and streams one JSONL response per request, in
+// request order. Requests that fail — unparseable line, unknown kernel,
+// bad parameters, missed deadline — answer in-band with error.kind
+// instead of terminating the process; only startup usage errors and
+// transport failures use the usual exit codes. See docs/SERVING.md.
+//
+// --metrics-out writes a structured snapshot (schema ksw.obs.report/v1)
+// on shutdown: request/response/cache counters, queue depth, and
+// p50/p99 service time. It is written on the interrupted path too,
+// before the process exits 130.
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <unistd.h>
+
+#include "io/atomic.hpp"
+#include "io/json.hpp"
+#include "kswsim/cli.hpp"
+#include "par/cancel.hpp"
+#include "serve/service.hpp"
+#include "support/error.hpp"
+
+namespace ksw::cli {
+
+namespace {
+
+/// Non-negative integer flag, rejected with a usage error otherwise.
+std::int64_t get_count(const ArgMap& args, const std::string& key,
+                       std::int64_t fallback) {
+  const std::int64_t v = args.get_int(key, fallback);
+  if (v < 0)
+    throw usage_error("--" + key + ": must be non-negative (got " +
+                      std::to_string(v) + ")");
+  return v;
+}
+
+void write_report(const std::string& path, const io::Json& report,
+                  std::ostream& out) {
+  std::ostringstream body;
+  report.write(body, 2);
+  body << '\n';
+  if (path == "-")
+    out << body.str();
+  else
+    io::atomic_write_file(path, body.str());
+}
+
+}  // namespace
+
+int cmd_serve(const ArgMap& args, std::ostream& out, std::ostream& err) {
+  serve::ServeOptions opts;
+  opts.threads = static_cast<std::size_t>(get_count(args, "threads", 0));
+  opts.batch = static_cast<std::size_t>(get_count(args, "batch", 64));
+  opts.cache_mb = static_cast<std::uint64_t>(get_count(args, "cache-mb", 64));
+  opts.deadline_ms = get_count(args, "deadline-ms", 0);
+  if (opts.batch == 0) throw usage_error("--batch: must be at least 1");
+  const std::string listen = args.get("listen", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+
+  // Flags are validated before the first read, so a typo fails fast with
+  // exit 2 instead of blocking on stdin.
+  const auto unknown = args.unused();
+  if (!unknown.empty()) {
+    err << "serve: unknown option --" << unknown.front() << "\n";
+    return 2;
+  }
+
+  serve::Service service(opts);
+  const par::CancelToken* cancel = &par::global_cancel_token();
+  serve::ServeSummary summary;
+  if (!listen.empty()) {
+    err << "serve: listening on " << listen << "\n";
+    summary = service.run_listen(listen, cancel);
+  } else if (&out == &std::cout) {
+    // Real CLI invocation: poll-based reader on the raw descriptors, so a
+    // SIGTERM during a blocked read is observed within ~200 ms.
+    summary = service.run_fd(STDIN_FILENO, STDOUT_FILENO, cancel);
+  } else {
+    // In-process harness (tests): plain stream loop.
+    summary = service.run(std::cin, out, cancel);
+  }
+
+  // The snapshot is written on every path — including interrupted — so an
+  // operator who SIGTERMs the service still gets its final counters.
+  if (!metrics_out.empty())
+    write_report(metrics_out, service.report(), out);
+
+  if (summary.interrupted)
+    throw interrupted_error("serve: shutdown requested (" +
+                            std::to_string(summary.responses) + " of " +
+                            std::to_string(summary.requests) +
+                            " responses flushed)");
+  err << "serve: " << summary.responses << " responses ("
+      << summary.requests << " requests)\n";
+  return 0;
+}
+
+}  // namespace ksw::cli

@@ -1,0 +1,138 @@
+// Serve-path throughput probe: queries/sec with the evaluation cache on
+// vs off, over a repeated-tuple ksw.query/v1 workload.
+//
+//   perf_serve [--requests=N] [--tuples=T] [--threads=W] [--quick]
+//              [--out=FILE] [--no-gate]
+//
+// The workload repeats T distinct first_stage distribution queries (the
+// most expensive analytic kernel) across N requests, the shape a client
+// sweeping a dashboard or re-rendering a table produces. The cold
+// service runs with --cache-mb=0 semantics (every request re-evaluates);
+// the cached service uses the default cache, so all but the first
+// occurrence of each tuple are hits returning memoized bytes.
+//
+// Prints a human summary plus one machine-readable line prefixed
+// "BENCH_serve.json" (also written to --out=FILE when given). Unless
+// --no-gate, exits 3 when the cached/cold speedup falls below 10x — the
+// acceptance floor for the serving layer.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "io/atomic.hpp"
+#include "io/json.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+struct Options {
+  std::size_t requests = 2000;
+  std::size_t tuples = 8;
+  std::size_t threads = 0;
+  std::string out_path;
+  bool gate = true;
+};
+
+std::string build_workload(const Options& opt) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < opt.requests; ++i) {
+    // T distinct tuples, interleaved; distribution=2048 makes the cold
+    // evaluation do real PGF inversion work per request.
+    os << R"({"kernel":"first_stage","id":)" << i
+       << R"(,"params":{"p":0.)" << (i % opt.tuples + 1)
+       << R"(,"k":4,"service":"det:2","distribution":2048}})" << "\n";
+  }
+  return os.str();
+}
+
+double run_once(const Options& opt, std::uint64_t cache_mb,
+                ksw::serve::ServeSummary* summary) {
+  ksw::serve::ServeOptions sopts;
+  sopts.threads = opt.threads;
+  sopts.cache_mb = cache_mb;
+  sopts.batch = 64;
+  ksw::serve::Service service(sopts);
+  std::istringstream in(build_workload(opt));
+  std::ostringstream sink;
+  const auto start = std::chrono::steady_clock::now();
+  *summary = service.run(in, sink, nullptr);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.requests = 300;
+    } else if (arg == "--no-gate") {
+      opt.gate = false;
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      opt.requests = static_cast<std::size_t>(std::stoul(arg.substr(11)));
+    } else if (arg.rfind("--tuples=", 0) == 0) {
+      opt.tuples = static_cast<std::size_t>(std::stoul(arg.substr(9)));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads = static_cast<std::size_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opt.out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr,
+                   "perf_serve: unknown option %s\n"
+                   "usage: perf_serve [--requests=N] [--tuples=T] "
+                   "[--threads=W] [--quick] [--out=FILE] [--no-gate]\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.tuples == 0 || opt.requests < opt.tuples) {
+    std::fprintf(stderr, "perf_serve: need requests >= tuples >= 1\n");
+    return 2;
+  }
+
+  ksw::serve::ServeSummary cold_summary;
+  ksw::serve::ServeSummary cached_summary;
+  const double cold_s = run_once(opt, /*cache_mb=*/0, &cold_summary);
+  const double cached_s = run_once(opt, /*cache_mb=*/64, &cached_summary);
+
+  const double qps_cold = static_cast<double>(opt.requests) / cold_s;
+  const double qps_cached = static_cast<double>(opt.requests) / cached_s;
+  const double speedup = qps_cached / qps_cold;
+
+  std::printf("serve throughput (%zu requests over %zu tuples):\n",
+              opt.requests, opt.tuples);
+  std::printf("  cold    %.4f s  (%.3e queries/sec, cache off)\n", cold_s,
+              qps_cold);
+  std::printf("  cached  %.4f s  (%.3e queries/sec)\n", cached_s,
+              qps_cached);
+  std::printf("  speedup %.1fx\n", speedup);
+
+  ksw::io::Json j = ksw::io::Json::object();
+  j.set("requests", static_cast<std::uint64_t>(opt.requests));
+  j.set("tuples", static_cast<std::uint64_t>(opt.tuples));
+  j.set("threads", static_cast<std::uint64_t>(opt.threads));
+  j.set("cold_wall_s", cold_s);
+  j.set("cached_wall_s", cached_s);
+  j.set("qps_cold", qps_cold);
+  j.set("qps_cached", qps_cached);
+  j.set("speedup", speedup);
+  j.set("responses_cold", cold_summary.responses);
+  j.set("responses_cached", cached_summary.responses);
+  std::printf("BENCH_serve.json %s\n", j.to_string(0).c_str());
+  if (!opt.out_path.empty())
+    ksw::io::atomic_write_file(opt.out_path, j.to_string(2) + "\n");
+
+  if (opt.gate && !(speedup >= 10.0)) {
+    std::fprintf(stderr,
+                 "perf_serve: GATE FAILED: cached/cold speedup %.2fx < "
+                 "10x floor\n",
+                 speedup);
+    return 3;
+  }
+  return 0;
+}

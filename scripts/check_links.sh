@@ -29,6 +29,19 @@ $targets
 EOF
 done
 
+# Every top-level docs page must be reachable from the docs index, so a
+# new guide cannot be added without surfacing it.
+if [ -f docs/README.md ]; then
+  for page in docs/*.md; do
+    base=$(basename "$page")
+    [ "$base" = "README.md" ] && continue
+    if ! grep -q "($base)" docs/README.md; then
+      echo "UNLINKED: $page is not linked from docs/README.md"
+      fail=1
+    fi
+  done
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "link check failed"
   exit 1

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Render docs/CLI.md from the built binary's actual --help output, so the
+# committed reference can never drift from the code. CI runs this with
+# --check; regenerate after changing the usage text with:
+#
+#   scripts/gen_cli_docs.sh [build-dir]          # rewrite docs/CLI.md
+#   scripts/gen_cli_docs.sh --check [build-dir]  # diff only (exit 1 on drift)
+set -euo pipefail
+
+check=0
+if [ "${1:-}" = "--check" ]; then
+  check=1
+  shift
+fi
+build_dir="${1:-build}"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+kswsim="$src_dir/$build_dir/apps/kswsim"
+out="$src_dir/docs/CLI.md"
+[ -x "$kswsim" ] || {
+  echo "gen_cli_docs: $kswsim not built (run cmake --build $build_dir)" >&2
+  exit 1
+}
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+{
+  echo '# kswsim command-line reference'
+  echo
+  echo '> Generated from `kswsim --help` by `scripts/gen_cli_docs.sh`.'
+  echo '> Do not edit by hand: CI re-renders this page from the built'
+  echo '> binary and fails on any difference.'
+  echo
+  echo '```text'
+  "$kswsim" --help
+  echo '```'
+  echo
+  echo 'Per-command details live in the topic guides indexed in'
+  echo '[docs/README.md](README.md) — in particular'
+  echo '[SERVING.md](SERVING.md) for the `serve` wire protocol and'
+  echo '[ROBUSTNESS.md](ROBUSTNESS.md) for the exit-code taxonomy.'
+} > "$tmp"
+
+if [ "$check" -eq 1 ]; then
+  if ! diff -u "$out" "$tmp"; then
+    echo "gen_cli_docs: docs/CLI.md is stale; regenerate with scripts/gen_cli_docs.sh" >&2
+    exit 1
+  fi
+  echo "gen_cli_docs: docs/CLI.md is current"
+else
+  mv "$tmp" "$out"
+  trap - EXIT
+  echo "gen_cli_docs: wrote $out"
+fi

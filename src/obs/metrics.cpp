@@ -51,4 +51,22 @@ double Histogram::mean() const noexcept {
   return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
 }
 
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("Histogram::quantile: q must be in [0, 1]");
+  if (total_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (underflow_ > 0 && rank <= cumulative) return lower_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double count = static_cast<double>(counts_[i]);
+    if (rank <= cumulative + count && count > 0.0) {
+      const double fraction = (rank - cumulative) / count;
+      return lower_edge(i) + width_ * fraction;
+    }
+    cumulative += count;
+  }
+  return lower_ + width_ * static_cast<double>(counts_.size());
+}
+
 }  // namespace ksw::obs

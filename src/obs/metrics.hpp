@@ -101,6 +101,12 @@ class Histogram {
   /// Mean of the raw recorded values (not bucket midpoints); 0 when empty.
   [[nodiscard]] double mean() const noexcept;
 
+  /// Approximate quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket holding the rank. Underflow mass reports the lower bound,
+  /// overflow mass the upper bound; 0 when the histogram is empty. Used
+  /// for p50/p99 service-time summaries in run reports.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   double lower_;
   double width_;

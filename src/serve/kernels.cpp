@@ -1,0 +1,144 @@
+#include "serve/kernels.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "core/closed_forms.hpp"
+#include "core/first_stage.hpp"
+#include "core/total_delay.hpp"
+#include "sim/service_spec.hpp"
+#include "support/error.hpp"
+#include "tables/table.hpp"
+
+namespace ksw::serve {
+
+namespace {
+
+core::QueueSpec first_stage_queue(const Query& q) {
+  const sim::ServiceSpec service = sim::ServiceSpec::parse(q.service);
+  std::shared_ptr<const core::ArrivalModel> arrivals;
+  if (q.q > 0.0) {
+    // k == s was enforced at parse time.
+    arrivals = core::make_nonuniform_arrivals(q.k, q.p, q.q, q.bulk);
+  } else {
+    arrivals = core::make_bulk_arrivals(q.k, q.s, q.p, q.bulk);
+  }
+  return core::QueueSpec{std::move(arrivals), service.to_model()};
+}
+
+core::NetworkTrafficSpec traffic_spec(const Query& q) {
+  core::NetworkTrafficSpec spec;
+  spec.k = q.k;
+  spec.p = q.p;
+  spec.bulk = q.bulk;
+  spec.q = q.q;
+  spec.service = sim::ServiceSpec::parse(q.service).to_model();
+  return spec;
+}
+
+io::Json eval_first_stage(const Query& q) {
+  const core::FirstStage first(first_stage_queue(q));
+  const auto m = first.moments();
+  io::Json result = io::Json::object();
+  result.set("lambda", first.lambda());
+  result.set("mean_service", first.mean_service());
+  result.set("rho", first.rho());
+  result.set("mean_wait", m.mean);
+  result.set("var_wait", m.variance);
+  result.set("factorial2", m.factorial2);
+  result.set("factorial3", m.factorial3);
+  result.set("skewness", m.skewness());
+  result.set("mean_delay", first.mean_delay());
+  result.set("var_delay", first.variance_delay());
+  if (q.distribution > 0) {
+    io::Json arr = io::Json::array();
+    for (double pj : first.distribution(q.distribution)) arr.push_back(pj);
+    result.set("distribution", std::move(arr));
+  }
+  return result;
+}
+
+io::Json eval_later_stages(const Query& q) {
+  const core::LaterStages ls(traffic_spec(q));
+  io::Json result = io::Json::object();
+  result.set("rho", ls.spec().rho());
+  result.set("w1", ls.mean_first_stage());
+  result.set("v1", ls.variance_first_stage());
+  result.set("mean_limit", ls.mean_limit());
+  result.set("variance_limit", ls.variance_limit());
+  if (q.stage > 0) {
+    result.set("stage", static_cast<std::int64_t>(q.stage));
+    result.set("mean_stage", ls.mean_at_stage(q.stage));
+    result.set("variance_stage", ls.variance_at_stage(q.stage));
+  }
+  return result;
+}
+
+io::Json eval_closed_form(const Query& q) {
+  namespace closed = core::closed;
+  io::Json result = io::Json::object();
+  result.set("family", q.family);
+  if (q.family == "uniform") {
+    result.set("mean", closed::eq6_mean(q.k, q.s, q.p));
+    result.set("variance", closed::eq7_variance(q.k, q.s, q.p));
+  } else if (q.family == "bulk") {
+    result.set("mean", closed::bulk_mean(q.k, q.s, q.p, q.b));
+    result.set("variance", closed::bulk_variance(q.k, q.s, q.p, q.b));
+  } else if (q.family == "nonuniform") {
+    result.set("mean", closed::nonuniform_mean(q.k, q.p, q.q, q.b));
+    // The paper prints the favorite-output variance for b = 1 only.
+    if (q.b == 1)
+      result.set("variance", closed::nonuniform_variance(q.k, q.p, q.q));
+  } else if (q.family == "geometric") {
+    result.set("mean", closed::geometric_mean(q.k, q.s, q.p, q.mu));
+    result.set("variance", closed::geometric_variance(q.k, q.s, q.p, q.mu));
+  } else {  // deterministic (family vocabulary was enforced at parse time)
+    result.set("mean", closed::eq8_mean(q.k, q.s, q.p, q.m));
+    result.set("variance", closed::eq9_variance(q.k, q.s, q.p, q.m));
+  }
+  return result;
+}
+
+io::Json eval_total_delay(const Query& q) {
+  const core::LaterStages ls(traffic_spec(q));
+  const core::TotalDelay td(ls, q.stages);
+  const auto gamma = td.gamma_approximation();
+  io::Json result = io::Json::object();
+  result.set("stages", static_cast<std::int64_t>(q.stages));
+  result.set("rho", ls.spec().rho());
+  result.set("mean_total", td.mean_total());
+  result.set("var_total", td.variance_total());
+  result.set("var_independent", td.variance_total(false));
+  result.set("mean_total_delay", td.mean_total_delay());
+  io::Json g = io::Json::object();
+  g.set("shape", gamma.shape());
+  g.set("scale", gamma.scale());
+  result.set("gamma", std::move(g));
+  io::Json qs = io::Json::object();
+  for (double prob : q.quantiles)
+    qs.set(tables::format_number(prob, 3), gamma.quantile(prob));
+  result.set("quantiles", std::move(qs));
+  return result;
+}
+
+}  // namespace
+
+io::Json evaluate(const Query& query) {
+  switch (query.kernel) {
+    case Kernel::kFirstStage:
+      return eval_first_stage(query);
+    case Kernel::kLaterStages:
+      return eval_later_stages(query);
+    case Kernel::kClosedForm:
+      return eval_closed_form(query);
+    case Kernel::kTotalDelay:
+      return eval_total_delay(query);
+  }
+  throw ksw::usage_error("kernel: unknown");
+}
+
+std::string evaluate_bytes(const Query& query) {
+  return evaluate(query).to_string();
+}
+
+}  // namespace ksw::serve

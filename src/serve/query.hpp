@@ -1,0 +1,115 @@
+// The ksw.query/v1 wire model: one analytic request per JSONL line.
+//
+// A request names an analytic kernel (first_stage, later_stages,
+// closed_form, total_delay) plus its parameter tuple. Kruskal-Snir-Weiss
+// evaluations are pure functions of that tuple, so every request has a
+// *canonical form* — defaults filled in, keys in fixed order, doubles in
+// hexfloat — which is what the evaluation cache hashes (FNV-1a) and
+// compares. Two requests that differ only in spelling ({"p":0.5} vs
+// {"p":5e-1}, key order, whitespace) share one cache entry and return
+// bit-identical result bytes.
+//
+// The full schema, error-kind vocabulary, and cache/deadline semantics
+// are documented in docs/SERVING.md.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace ksw::serve {
+
+/// The analytic kernels a request can name.
+enum class Kernel {
+  kFirstStage,   ///< Theorem 1: exact first-stage moments + distribution
+  kLaterStages,  ///< Section IV: eq. 11-14 stage estimates
+  kClosedForm,   ///< Section III printed closed forms, by family
+  kTotalDelay,   ///< Section V: totals + gamma approximation
+};
+
+[[nodiscard]] const char* kernel_name(Kernel kernel) noexcept;
+
+/// In-band error vocabulary of ksw.query/v1 responses. A serve process
+/// answers a bad request with {"ok":false,"error":{"kind":...}} instead
+/// of exiting — the PR-4 exit-code taxonomy applies only to transport
+/// and startup failures (see docs/ROBUSTNESS.md).
+namespace wire {
+inline constexpr const char* kUsage = "usage";              ///< bad request
+inline constexpr const char* kNumeric = "numeric";          ///< model guard
+inline constexpr const char* kDeadline = "deadline";        ///< expired
+inline constexpr const char* kInterrupted = "interrupted";  ///< shutdown
+inline constexpr const char* kInternal = "internal";        ///< a bug
+}  // namespace wire
+
+/// Parameter tuple of one request, defaults filled in. Construction goes
+/// through Request::parse, which validates strictly (unknown keys, bad
+/// types, and out-of-domain values are usage errors).
+struct Query {
+  Kernel kernel = Kernel::kFirstStage;
+
+  // Traffic tuple (first_stage / later_stages / total_delay).
+  unsigned k = 2;      ///< switch degree
+  unsigned s = 2;      ///< first_stage only: output count (defaults to k)
+  double p = 0.5;      ///< per-input arrival probability per cycle
+  unsigned bulk = 1;   ///< messages per batch
+  double q = 0.0;      ///< favorite-output probability
+  std::string service = "det:1";  ///< service spec, kept verbatim
+
+  unsigned distribution = 0;  ///< first_stage: P(w=j) prefix length
+  unsigned stage = 0;         ///< later_stages: 1-based stage (0 = limit only)
+  unsigned stages = 10;       ///< total_delay: network depth
+  std::vector<double> quantiles{0.5, 0.9, 0.99};  ///< total_delay
+
+  // closed_form tuple.
+  std::string family;  ///< uniform|bulk|nonuniform|geometric|deterministic
+  unsigned b = 1;      ///< closed_form bulk/nonuniform batch size
+  double mu = 0.5;     ///< closed_form geometric service parameter
+  unsigned m = 1;      ///< closed_form deterministic service time
+
+  /// Canonical request string — the cache identity. Pure function of the
+  /// parsed tuple: fixed key order, defaults materialized, doubles as
+  /// hexfloats, the service spec verbatim.
+  [[nodiscard]] std::string canonical() const;
+};
+
+/// One parsed request line. `error_kind` empty means the request is valid
+/// and `query` is meaningful; otherwise the request already failed and
+/// carries its in-band error.
+struct Request {
+  io::Json id;  ///< echoed verbatim (null when absent)
+  Query query;
+  std::int64_t deadline_ms = 0;  ///< 0 = no deadline
+  std::chrono::steady_clock::time_point arrival{};
+
+  std::string error_kind;  ///< one of wire::*, or empty
+  std::string error_message;
+
+  [[nodiscard]] bool valid() const noexcept { return error_kind.empty(); }
+
+  /// Parse one JSONL line. Never throws: malformed JSON, unknown kernels,
+  /// unknown or mistyped params all come back as a Request whose
+  /// error_kind is wire::kUsage. `default_deadline_ms` applies when the
+  /// request carries no deadline of its own.
+  [[nodiscard]] static Request parse(const std::string& line,
+                                     std::int64_t default_deadline_ms = 0);
+};
+
+/// 64-bit FNV-1a over the canonical request string.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& text) noexcept;
+
+/// Render a success response line (no trailing newline): the envelope
+/// around pre-serialized result bytes, which are spliced in verbatim so
+/// cached and freshly computed responses are bit-identical.
+[[nodiscard]] std::string render_ok(const io::Json& id, Kernel kernel,
+                                    bool cached,
+                                    const std::string& result_bytes);
+
+/// Render an error response line (no trailing newline).
+[[nodiscard]] std::string render_error(const io::Json& id,
+                                       const std::string& kind,
+                                       const std::string& message);
+
+}  // namespace ksw::serve

@@ -308,6 +308,35 @@ TEST(Usage, MentionsEveryReproduceResilienceOption) {
   EXPECT_NE(r.out.find("KSW_FAULTS"), std::string::npos);
 }
 
+// And for the serve command (docs/SERVING.md carries the full spec).
+TEST(Usage, MentionsEveryServeOption) {
+  const auto r = invoke({"serve", "--bad-flag=1", "--help"});
+  ASSERT_EQ(r.code, 0);  // --help wins before flag validation
+  const char* options[] = {"--listen=", "--threads=", "--batch=",
+                           "--cache-mb=", "--deadline-ms=",
+                           "--metrics-out="};
+  for (const char* opt : options)
+    EXPECT_NE(r.out.find(opt), std::string::npos)
+        << "usage text omits " << opt;
+  EXPECT_NE(r.out.find("serve"), std::string::npos);
+  EXPECT_NE(r.out.find("docs/SERVING.md"), std::string::npos);
+  EXPECT_NE(r.out.find("error.kind"), std::string::npos);
+}
+
+TEST(Serve, UnknownOptionFailsBeforeReadingInput) {
+  // Flag validation happens before the first read, so a typo exits 2
+  // immediately instead of blocking on stdin.
+  const auto r = invoke({"serve", "--bogus=1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option --bogus"), std::string::npos);
+}
+
+TEST(Serve, RejectsOutOfDomainFlags) {
+  EXPECT_EQ(invoke({"serve", "--batch=0"}).code, 2);
+  EXPECT_EQ(invoke({"serve", "--deadline-ms=-5"}).code, 2);
+  EXPECT_EQ(invoke({"serve", "--threads=-1"}).code, 2);
+}
+
 TEST(Reproduce, ListPrintsSectionsWithoutRunning) {
   const auto r = invoke({"reproduce",
                          "--manifest=" KSW_MANIFEST_DIR "/paper.json",

@@ -69,6 +69,38 @@ TEST(HistogramMetric, WeightedRecordAndMean) {
   EXPECT_DOUBLE_EQ(h.mean(), 2.0);
 }
 
+TEST(HistogramMetric, QuantileInterpolatesWithinBuckets) {
+  // Four buckets of width 10 on [0, 40); 10 samples spread uniformly
+  // inside bucket 1 mean the rank fraction interpolates linearly.
+  Histogram h(0.0, 10.0, 4);
+  h.record(15.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(HistogramMetric, QuantileSpansBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.record(0.5, 1);  // bucket 0
+  h.record(1.5, 1);  // bucket 1
+  h.record(2.5, 2);  // bucket 2
+  // Half the mass lies at or below the end of bucket 1.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(HistogramMetric, QuantileEdgeCases) {
+  Histogram h(10.0, 5.0, 2);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.record(5.0);   // underflow
+  h.record(99.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 10.0);  // underflow reports the bound
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);   // overflow reports the top edge
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
 TEST(HistogramMetric, MergeRequiresSameLayout) {
   Histogram a(0.0, 1.0, 4);
   Histogram b(0.0, 1.0, 4);
