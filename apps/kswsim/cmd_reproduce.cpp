@@ -29,7 +29,10 @@
 #include <sstream>
 
 #include "fault/plan.hpp"
+#include "io/atomic.hpp"
 #include "kswsim/cli.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
 #include "par/cancel.hpp"
 #include "par/thread_pool.hpp"
 #include "support/error.hpp"
@@ -87,6 +90,7 @@ int cmd_reproduce(const ArgMap& args, std::ostream& out, std::ostream& err) {
   const bool resume = args.get_flag("resume");
   const std::int64_t point_timeout = args.get_int("point-timeout", 0);
   const std::string fault_plan = args.get("fault-plan", "");
+  const std::string trace_out = args.get("trace-out", "");
   std::string checkpoint_path = args.get("checkpoint", "");
   const std::vector<std::string> only = split_ids(args.get("section", ""));
 
@@ -173,17 +177,36 @@ int cmd_reproduce(const ArgMap& args, std::ostream& out, std::ostream& err) {
   options.point_timeout_ms = point_timeout;
   options.progress = &err;
 
+  // Per-grid-point spans keyed to the manifest fingerprint: a run and
+  // its --resume continuation emit the same trace ids for the same
+  // points, so their ksw.trace/v1 streams stitch in a trace viewer.
+  obs::Tracer tracer;
+  if (!trace_out.empty()) {
+    options.tracer = &tracer;
+    options.trace_key = sweep::manifest_fingerprint(manifest_text);
+  }
+  const auto write_trace = [&] {
+    if (!trace_out.empty())
+      io::atomic_write_file(
+          trace_out,
+          obs::render_trace_jsonl(tracer.snapshot(), tracer.dropped()));
+  };
+
   sweep::SweepResult result;
   try {
     result = sweep::run_sweep(manifest, pool, options);
   } catch (const Error& e) {
     if (e.kind() != ErrorKind::kInterrupted) throw;
+    // The partial trace is flushed too, so the resumed run's stream can
+    // be stitched onto this one.
+    write_trace();
     err << "kswsim: interrupted: " << e.what() << "\n";
     if (journal && journal->size() > 0)
       err << "reproduce: " << journal->size() << " completed points saved in "
           << checkpoint_path << "; rerun with --resume to continue\n";
     return e.exit_code();
   }
+  write_trace();
 
   // The index enumerates every section, so it is only meaningful (and only
   // checked/written) for a full run.

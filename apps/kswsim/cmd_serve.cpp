@@ -2,6 +2,8 @@
 //
 //   kswsim serve [--listen=SOCKET] [--threads=T] [--batch=N]
 //                [--cache-mb=MB] [--deadline-ms=MS] [--metrics-out=FILE|-]
+//                [--metrics-interval-ms=MS] [--access-log=FILE]
+//                [--trace-out=FILE]
 //
 // Reads JSONL requests from stdin (or accepts connections on a Unix
 // socket with --listen) and streams one JSONL response per request, in
@@ -10,18 +12,32 @@
 // instead of terminating the process; only startup usage errors and
 // transport failures use the usual exit codes. See docs/SERVING.md.
 //
-// --metrics-out writes a structured snapshot (schema ksw.obs.report/v1)
-// on shutdown: request/response/cache counters, queue depth, and
-// p50/p99 service time. It is written on the interrupted path too,
-// before the process exits 130.
+// Observability (docs/OBSERVABILITY.md, docs/SERVING.md):
+//   --metrics-out writes a structured snapshot (ksw.obs.report/v1) on
+//     shutdown — including the interrupted path, before exit 130. In
+//     stdin mode `-` is rejected with a usage error: stdout is the JSONL
+//     response channel and a metrics report interleaved into it would
+//     corrupt the protocol stream.
+//   --metrics-interval-ms additionally rewrites that snapshot atomically
+//     every MS milliseconds while serving, for live fleet monitoring.
+//   --access-log appends one JSONL row per request: trace_id, kernel,
+//     cache hit/miss + shard, queue-wait vs eval-wall split, outcome.
+//   --trace-out records serve.batch/serve.request spans and writes a
+//     ksw.trace/v1 stream on shutdown (see `kswsim trace`).
+#include <atomic>
+#include <chrono>
 #include <iostream>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <unistd.h>
 
 #include "io/atomic.hpp"
 #include "io/json.hpp"
 #include "kswsim/cli.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
 #include "par/cancel.hpp"
 #include "serve/service.hpp"
 #include "support/error.hpp"
@@ -51,6 +67,49 @@ void write_report(const std::string& path, const io::Json& report,
     io::atomic_write_file(path, body.str());
 }
 
+/// Periodic metrics snapshotter: rewrites `path` atomically every
+/// `interval_ms` until stopped, so an operator (or the fleet
+/// supervisor) can watch counters and latency quantiles live instead of
+/// waiting for shutdown. Write failures disable the ticker with one
+/// stderr note — monitoring must never take the service down.
+class MetricsTicker {
+ public:
+  MetricsTicker(const serve::Service& service, std::string path,
+                std::int64_t interval_ms, std::ostream& err)
+      : service_(service), path_(std::move(path)) {
+    thread_ = std::thread([this, interval_ms, &err] {
+      const auto interval = std::chrono::milliseconds(interval_ms);
+      auto next = std::chrono::steady_clock::now() + interval;
+      while (!done_.load(std::memory_order_relaxed)) {
+        // Short sleeps so shutdown is observed promptly even with a
+        // long interval.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += interval;
+        try {
+          io::atomic_write_file(path_,
+                                service_.report().to_string(2) + "\n");
+        } catch (const std::exception& e) {
+          err << "serve: metrics snapshot failed, disabling ticker: "
+              << e.what() << "\n";
+          return;
+        }
+      }
+    });
+  }
+
+  ~MetricsTicker() {
+    done_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  const serve::Service& service_;
+  std::string path_;
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
 }  // namespace
 
 int cmd_serve(const ArgMap& args, std::ostream& out, std::ostream& err) {
@@ -62,6 +121,10 @@ int cmd_serve(const ArgMap& args, std::ostream& out, std::ostream& err) {
   if (opts.batch == 0) throw usage_error("--batch: must be at least 1");
   const std::string listen = args.get("listen", "");
   const std::string metrics_out = args.get("metrics-out", "");
+  const std::int64_t metrics_interval =
+      get_count(args, "metrics-interval-ms", 0);
+  opts.access_log = args.get("access-log", "");
+  const std::string trace_out = args.get("trace-out", "");
 
   // Flags are validated before the first read, so a typo fails fast with
   // exit 2 instead of blocking on stdin.
@@ -70,26 +133,49 @@ int cmd_serve(const ArgMap& args, std::ostream& out, std::ostream& err) {
     err << "serve: unknown option --" << unknown.front() << "\n";
     return 2;
   }
+  if (metrics_out == "-" && listen.empty())
+    throw usage_error(
+        "--metrics-out=-: stdout is the JSONL response channel in stdin "
+        "mode; write the snapshot to a file (or use --listen)");
+  if (metrics_interval > 0 && (metrics_out.empty() || metrics_out == "-"))
+    throw usage_error(
+        "--metrics-interval-ms: requires --metrics-out=FILE to write the "
+        "periodic snapshots to");
+
+  // The tracer outlives the service; spans are exported once on the way
+  // out (any path, including interrupted).
+  obs::Tracer tracer;
+  if (!trace_out.empty()) opts.tracer = &tracer;
 
   serve::Service service(opts);
   const par::CancelToken* cancel = &par::global_cancel_token();
   serve::ServeSummary summary;
-  if (!listen.empty()) {
-    err << "serve: listening on " << listen << "\n";
-    summary = service.run_listen(listen, cancel);
-  } else if (&out == &std::cout) {
-    // Real CLI invocation: poll-based reader on the raw descriptors, so a
-    // SIGTERM during a blocked read is observed within ~200 ms.
-    summary = service.run_fd(STDIN_FILENO, STDOUT_FILENO, cancel);
-  } else {
-    // In-process harness (tests): plain stream loop.
-    summary = service.run(std::cin, out, cancel);
+  {
+    std::optional<MetricsTicker> ticker;
+    if (metrics_interval > 0)
+      ticker.emplace(service, metrics_out, metrics_interval, err);
+    if (!listen.empty()) {
+      err << "serve: listening on " << listen << "\n";
+      summary = service.run_listen(listen, cancel);
+    } else if (&out == &std::cout) {
+      // Real CLI invocation: poll-based reader on the raw descriptors, so
+      // a SIGTERM during a blocked read is observed within ~200 ms.
+      summary = service.run_fd(STDIN_FILENO, STDOUT_FILENO, cancel);
+    } else {
+      // In-process harness (tests): plain stream loop.
+      summary = service.run(std::cin, out, cancel);
+    }
   }
 
-  // The snapshot is written on every path — including interrupted — so an
-  // operator who SIGTERMs the service still gets its final counters.
+  // Snapshots are written on every path — including interrupted — so an
+  // operator who SIGTERMs the service still gets its final counters and
+  // the trace of everything served so far.
   if (!metrics_out.empty())
     write_report(metrics_out, service.report(), out);
+  if (!trace_out.empty())
+    io::atomic_write_file(
+        trace_out,
+        obs::render_trace_jsonl(tracer.snapshot(), tracer.dropped()));
 
   if (summary.interrupted)
     throw interrupted_error("serve: shutdown requested (" +

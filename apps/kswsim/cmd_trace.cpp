@@ -1,0 +1,150 @@
+// kswsim trace — post-process ksw.trace/v1 span streams.
+//
+//   kswsim trace summarize --in=FILE [--format=table|json|csv]
+//   kswsim trace export --chrome --in=FILE [--out=FILE|-]
+//
+// `summarize` prints a per-span-name latency table (count, total,
+// p50/p99/max microseconds, exact nearest-rank quantiles). `export
+// --chrome` converts the stream to Chrome trace-event JSON, which loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing. Input
+// streams come from `kswsim serve --trace-out`, `kswsim reproduce
+// --trace-out`, or any writer of the documented schema
+// (docs/OBSERVABILITY.md "Tracing").
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "io/atomic.hpp"
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "kswsim/cli.hpp"
+#include "obs/trace_export.hpp"
+#include "support/error.hpp"
+#include "tables/table.hpp"
+
+namespace ksw::cli {
+
+namespace {
+
+std::string read_trace_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw io_error("trace: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+int summarize(const std::string& in_path, Format format, std::ostream& out) {
+  std::uint64_t dropped = 0;
+  const std::vector<obs::SpanRecord> spans =
+      obs::parse_trace_jsonl(read_trace_file(in_path), &dropped);
+  const std::vector<obs::TraceSummaryRow> rows = obs::summarize_spans(spans);
+
+  switch (format) {
+    case Format::kTable: {
+      tables::Table table("Span summary (" + in_path + ")",
+                          {"span", "count", "total_ms", "p50_us", "p99_us",
+                           "max_us"});
+      for (const auto& row : rows)
+        table.begin_row(row.name)
+            .add_cell(std::to_string(row.count))
+            .add_number(row.total_ms, 3)
+            .add_number(row.p50_us, 1)
+            .add_number(row.p99_us, 1)
+            .add_number(row.max_us, 1);
+      table.print(out);
+      out << spans.size() << " spans";
+      if (dropped > 0) out << " (+" << dropped << " dropped at the sink)";
+      out << "\n";
+      break;
+    }
+    case Format::kJson: {
+      io::Json doc = io::Json::object();
+      doc.set("schema", "ksw.trace.summary/v1");
+      doc.set("spans", static_cast<std::uint64_t>(spans.size()));
+      doc.set("dropped", dropped);
+      io::Json names = io::Json::array();
+      for (const auto& row : rows) {
+        io::Json item = io::Json::object();
+        item.set("name", row.name);
+        item.set("count", row.count);
+        item.set("total_ms", row.total_ms);
+        item.set("p50_us", row.p50_us);
+        item.set("p99_us", row.p99_us);
+        item.set("max_us", row.max_us);
+        names.push_back(std::move(item));
+      }
+      doc.set("summary", std::move(names));
+      doc.write(out, 2);
+      out << "\n";
+      break;
+    }
+    case Format::kCsv: {
+      io::CsvWriter csv(
+          {"name", "count", "total_ms", "p50_us", "p99_us", "max_us"});
+      for (const auto& row : rows)
+        csv.begin_row()
+            .add(row.name)
+            .add(row.count)
+            .add(row.total_ms)
+            .add(row.p50_us)
+            .add(row.p99_us)
+            .add(row.max_us);
+      csv.write(out);
+      break;
+    }
+  }
+  return 0;
+}
+
+int export_chrome(const std::string& in_path, const std::string& out_path,
+                  std::ostream& out, std::ostream& err) {
+  const std::vector<obs::SpanRecord> spans =
+      obs::parse_trace_jsonl(read_trace_file(in_path));
+  const std::string chrome = obs::render_chrome_trace(spans);
+  if (out_path == "-") {
+    out << chrome;
+  } else {
+    io::atomic_write_file(out_path, chrome);
+    err << "trace: wrote " << spans.size() << " events to " << out_path
+        << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_trace(const ArgMap& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty())
+    throw usage_error(
+        "trace: expected an action: summarize | export (see kswsim --help)");
+  const std::string action = args.positional().front();
+  const std::string in_path = args.get("in", "");
+
+  if (action == "summarize") {
+    const Format format = parse_format(args);
+    if (in_path.empty())
+      throw usage_error("trace summarize: --in=FILE required");
+    const auto unknown = args.unused();
+    if (!unknown.empty())
+      throw usage_error("trace: unknown option --" + unknown.front());
+    return summarize(in_path, format, out);
+  }
+  if (action == "export") {
+    const bool chrome = args.get_flag("chrome");
+    const std::string out_path = args.get("out", "-");
+    if (!chrome)
+      throw usage_error(
+          "trace export: --chrome required (the only export format so far)");
+    if (in_path.empty())
+      throw usage_error("trace export: --in=FILE required");
+    const auto unknown = args.unused();
+    if (!unknown.empty())
+      throw usage_error("trace: unknown option --" + unknown.front());
+    return export_chrome(in_path, out_path, out, err);
+  }
+  throw usage_error("trace: unknown action \"" + action +
+                    "\" (expected summarize | export)");
+}
+
+}  // namespace ksw::cli

@@ -36,18 +36,27 @@ commands:
              --index=docs/REPRODUCTION.md --threads=0
              --section=ID[,ID...] --list --check
              --resume --checkpoint=FILE --point-timeout=MS
-             --fault-plan=FILE
+             --fault-plan=FILE --trace-out=FILE
              (--check diffs committed pages against a fresh run; --resume
               continues an interrupted run from its checkpoint journal;
               see docs/REPRODUCTION.md and docs/ROBUSTNESS.md)
   serve      long-lived analytic query service (ksw.query/v1 JSONL)
              --listen=SOCKET --threads=0 --batch=64 --cache-mb=64
              --deadline-ms=0 --metrics-out=FILE|-
+             --metrics-interval-ms=0 --access-log=FILE --trace-out=FILE
              (reads JSONL requests from stdin or a Unix socket, streams
               one response per request; per-request failures answer
               in-band via error.kind, not an exit code; repeated tuples
               are served bit-identically from a memoized evaluation
-              cache; see docs/SERVING.md)
+              cache; --access-log appends one JSONL row per request with
+              trace_id, cache hit/miss, and queue/eval timing; see
+              docs/SERVING.md)
+  trace      summarize / export ksw.trace/v1 span streams
+             trace summarize --in=FILE --format=table|json|csv
+             trace export --chrome --in=FILE --out=FILE|-
+             (streams come from serve/reproduce --trace-out; --chrome
+              emits Chrome trace-event JSON that loads in Perfetto; see
+              docs/OBSERVABILITY.md)
 
 common options:
   --format=table|json|csv   output format (default: table)
@@ -90,6 +99,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "calibrate") return cmd_calibrate(parsed, out, err);
     if (command == "reproduce") return cmd_reproduce(parsed, out, err);
     if (command == "serve") return cmd_serve(parsed, out, err);
+    if (command == "trace") return cmd_trace(parsed, out, err);
     err << "kswsim: unknown command '" << command << "'\n" << kUsage;
     return 2;
   } catch (const Error& e) {

@@ -2,7 +2,7 @@
 // vs off, over a repeated-tuple ksw.query/v1 workload.
 //
 //   perf_serve [--requests=N] [--tuples=T] [--threads=W] [--quick]
-//              [--out=FILE] [--no-gate]
+//              [--out=FILE] [--no-gate] [--access-log=FILE]
 //
 // The workload repeats T distinct first_stage distribution queries (the
 // most expensive analytic kernel) across N requests, the shape a client
@@ -12,9 +12,13 @@
 // occurrence of each tuple are hits returning memoized bytes.
 //
 // Prints a human summary plus one machine-readable line prefixed
-// "BENCH_serve.json" (also written to --out=FILE when given). Unless
-// --no-gate, exits 3 when the cached/cold speedup falls below 10x — the
-// acceptance floor for the serving layer.
+// "BENCH_serve.json" (also written to --out=FILE when given) — including
+// per-request service-time p50/p99/p999 read back from the service's
+// serve.service_us histogram. --access-log additionally enables the
+// request-telemetry path (JSONL access log + span tracer) so
+// scripts/check_obs_overhead.sh can price it against the plain run.
+// Unless --no-gate, exits 3 when the cached/cold speedup falls below
+// 10x — the acceptance floor for the serving layer.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +27,7 @@
 
 #include "io/atomic.hpp"
 #include "io/json.hpp"
+#include "obs/span.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -32,7 +37,15 @@ struct Options {
   std::size_t tuples = 8;
   std::size_t threads = 0;
   std::string out_path;
+  std::string access_log;
   bool gate = true;
+};
+
+/// Per-request service-time quantiles (microseconds).
+struct Latency {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 std::string build_workload(const Options& opt) {
@@ -48,19 +61,31 @@ std::string build_workload(const Options& opt) {
 }
 
 double run_once(const Options& opt, std::uint64_t cache_mb,
-                ksw::serve::ServeSummary* summary) {
+                ksw::serve::ServeSummary* summary, Latency* latency) {
   ksw::serve::ServeOptions sopts;
   sopts.threads = opt.threads;
   sopts.cache_mb = cache_mb;
   sopts.batch = 64;
+  ksw::obs::Tracer tracer;
+  if (!opt.access_log.empty()) {
+    sopts.access_log = opt.access_log;
+    sopts.tracer = &tracer;
+  }
   ksw::serve::Service service(sopts);
   std::istringstream in(build_workload(opt));
   std::ostringstream sink;
   const auto start = std::chrono::steady_clock::now();
   *summary = service.run(in, sink, nullptr);
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const auto& hists = service.registry().histograms();
+  if (const auto it = hists.find("serve.service_us"); it != hists.end()) {
+    latency->p50 = it->second->quantile(0.5);
+    latency->p99 = it->second->quantile(0.99);
+    latency->p999 = it->second->quantile(0.999);
+  }
+  return wall;
 }
 
 }  // namespace
@@ -81,11 +106,14 @@ int main(int argc, char** argv) {
       opt.threads = static_cast<std::size_t>(std::stoul(arg.substr(10)));
     } else if (arg.rfind("--out=", 0) == 0) {
       opt.out_path = arg.substr(6);
+    } else if (arg.rfind("--access-log=", 0) == 0) {
+      opt.access_log = arg.substr(13);
     } else {
       std::fprintf(stderr,
                    "perf_serve: unknown option %s\n"
                    "usage: perf_serve [--requests=N] [--tuples=T] "
-                   "[--threads=W] [--quick] [--out=FILE] [--no-gate]\n",
+                   "[--threads=W] [--quick] [--out=FILE] [--no-gate] "
+                   "[--access-log=FILE]\n",
                    arg.c_str());
       return 2;
     }
@@ -97,19 +125,28 @@ int main(int argc, char** argv) {
 
   ksw::serve::ServeSummary cold_summary;
   ksw::serve::ServeSummary cached_summary;
-  const double cold_s = run_once(opt, /*cache_mb=*/0, &cold_summary);
-  const double cached_s = run_once(opt, /*cache_mb=*/64, &cached_summary);
+  Latency cold_lat;
+  Latency cached_lat;
+  const double cold_s = run_once(opt, /*cache_mb=*/0, &cold_summary,
+                                 &cold_lat);
+  const double cached_s = run_once(opt, /*cache_mb=*/64, &cached_summary,
+                                   &cached_lat);
 
   const double qps_cold = static_cast<double>(opt.requests) / cold_s;
   const double qps_cached = static_cast<double>(opt.requests) / cached_s;
   const double speedup = qps_cached / qps_cold;
 
-  std::printf("serve throughput (%zu requests over %zu tuples):\n",
-              opt.requests, opt.tuples);
-  std::printf("  cold    %.4f s  (%.3e queries/sec, cache off)\n", cold_s,
-              qps_cold);
-  std::printf("  cached  %.4f s  (%.3e queries/sec)\n", cached_s,
-              qps_cached);
+  std::printf("serve throughput (%zu requests over %zu tuples%s):\n",
+              opt.requests, opt.tuples,
+              opt.access_log.empty() ? "" : ", access log on");
+  std::printf(
+      "  cold    %.4f s  (%.3e queries/sec, cache off)  "
+      "p50/p99/p999 %.1f/%.1f/%.1f us\n",
+      cold_s, qps_cold, cold_lat.p50, cold_lat.p99, cold_lat.p999);
+  std::printf(
+      "  cached  %.4f s  (%.3e queries/sec)  "
+      "p50/p99/p999 %.1f/%.1f/%.1f us\n",
+      cached_s, qps_cached, cached_lat.p50, cached_lat.p99, cached_lat.p999);
   std::printf("  speedup %.1fx\n", speedup);
 
   ksw::io::Json j = ksw::io::Json::object();
@@ -123,6 +160,13 @@ int main(int argc, char** argv) {
   j.set("speedup", speedup);
   j.set("responses_cold", cold_summary.responses);
   j.set("responses_cached", cached_summary.responses);
+  j.set("access_log", !opt.access_log.empty());
+  j.set("cold_p50_us", cold_lat.p50);
+  j.set("cold_p99_us", cold_lat.p99);
+  j.set("cold_p999_us", cold_lat.p999);
+  j.set("cached_p50_us", cached_lat.p50);
+  j.set("cached_p99_us", cached_lat.p99);
+  j.set("cached_p999_us", cached_lat.p999);
   std::printf("BENCH_serve.json %s\n", j.to_string(0).c_str());
   if (!opt.out_path.empty())
     ksw::io::atomic_write_file(opt.out_path, j.to_string(2) + "\n");

@@ -1,35 +1,29 @@
 #!/usr/bin/env bash
-# Guard the observability layer's hot-path cost: run the perf_simulator
-# throughput probe with telemetry off and on (default sampling stride) and
-# fail if the enabled-mode throughput drops more than 10%.
+# Guard the observability layer's hot-path cost, in both places it can
+# hurt:
 #
-#   scripts/check_obs_overhead.sh [build-dir] [repeats]
+#   sim    perf_simulator with telemetry off vs on (default sampling
+#          stride) — enabled-mode cycles/sec must stay >= 90% of baseline.
+#   serve  perf_serve with request telemetry (--access-log + span tracer)
+#          off vs on — cached-path queries/sec must stay >= 90% of
+#          baseline, so the per-request access log and spans never cost
+#          more than the 10% budget.
 #
-# Each mode runs `repeats` times (default 3) and the best cycles/sec is
+#   scripts/check_obs_overhead.sh [build-dir] [repeats] [sim|serve|all]
+#
+# Each mode runs `repeats` times (default 3) and the best rate is
 # compared, so scheduler noise biases both sides the same way.
 set -euo pipefail
 
 build_dir="${1:-build}"
 repeats="${2:-3}"
-bin="$build_dir/bench/perf_simulator"
+section="${3:-all}"
 
-if [ ! -x "$bin" ]; then
-  echo "check_obs_overhead: $bin not found (build the bench targets first)" >&2
-  exit 2
-fi
-
-# Extract cycles_per_sec from the first BENCH_perf.json line (the legacy
-# k=2, stages=8 probe; later lines are the rho sweep) of one probe run.
-probe() {
-  "$bin" --perf-only "--obs=$1" |
-    sed -n 's/^BENCH_perf\.json .*"cycles_per_sec":\([0-9.eE+-]*\).*/\1/p' |
-    head -n 1
-}
-
-best() {
-  local mode="$1" best=0 v
+best_of() {
+  # best_of CMD... — max of `repeats` runs of CMD (CMD prints one number).
+  local best=0 v
   for _ in $(seq "$repeats"); do
-    v=$(probe "$mode")
+    v=$("$@")
     if awk -v a="$v" -v b="$best" 'BEGIN { exit !(a > b) }'; then
       best="$v"
     fi
@@ -37,14 +31,51 @@ best() {
   echo "$best"
 }
 
-off=$(best off)
-on=$(best on)
+gate_ratio() {
+  # gate_ratio LABEL OFF ON — fail when ON/OFF < 0.90.
+  local label="$1" off="$2" on="$3" ratio
+  ratio=$(awk -v on="$on" -v off="$off" 'BEGIN { printf "%.4f", on / off }')
+  echo "$label overhead check: off=$off, on=$on, ratio=$ratio"
+  if awk -v r="$ratio" 'BEGIN { exit !(r < 0.90) }'; then
+    echo "FAIL: $label telemetry-enabled throughput below 90% of baseline" >&2
+    exit 1
+  fi
+}
 
-ratio=$(awk -v on="$on" -v off="$off" 'BEGIN { printf "%.4f", on / off }')
-echo "obs overhead check: off=$off cycles/s, on=$on cycles/s, ratio=$ratio"
-
-if awk -v r="$ratio" 'BEGIN { exit !(r < 0.90) }'; then
-  echo "FAIL: telemetry-enabled throughput is below 90% of baseline" >&2
-  exit 1
+if [ "$section" = "sim" ] || [ "$section" = "all" ]; then
+  sim_bin="$build_dir/bench/perf_simulator"
+  if [ ! -x "$sim_bin" ]; then
+    echo "check_obs_overhead: $sim_bin not found (build the bench targets first)" >&2
+    exit 2
+  fi
+  # cycles_per_sec from the first BENCH_perf.json line (the legacy k=2,
+  # stages=8 probe; later lines are the rho sweep).
+  sim_probe() {
+    "$sim_bin" --perf-only "--obs=$1" |
+      sed -n 's/^BENCH_perf\.json .*"cycles_per_sec":\([0-9.eE+-]*\).*/\1/p' |
+      head -n 1
+  }
+  gate_ratio "sim" "$(best_of sim_probe off)" "$(best_of sim_probe on)"
 fi
+
+if [ "$section" = "serve" ] || [ "$section" = "all" ]; then
+  serve_bin="$build_dir/bench/perf_serve"
+  if [ ! -x "$serve_bin" ]; then
+    echo "check_obs_overhead: $serve_bin not found (build the bench targets first)" >&2
+    exit 2
+  fi
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  # qps_cached is the hot path: memoized lookups are where a per-request
+  # log row + span could dominate the request's own cost.
+  serve_probe() {
+    "$serve_bin" --quick --no-gate "$@" |
+      sed -n 's/^BENCH_serve\.json .*"qps_cached":\([0-9.eE+-]*\).*/\1/p' |
+      head -n 1
+  }
+  off=$(best_of serve_probe)
+  on=$(best_of serve_probe "--access-log=$work/access.jsonl")
+  gate_ratio "serve" "$off" "$on"
+fi
+
 echo "OK: enabled-mode overhead within the 10% budget"

@@ -1,0 +1,177 @@
+#!/usr/bin/env bash
+# Out-of-process smoke test for the tracing/telemetry layer
+# (docs/OBSERVABILITY.md "Tracing", docs/SERVING.md "Request telemetry"):
+#
+#   - `kswsim serve --access-log` writes one JSONL row per request with a
+#     16-char hex trace_id; a client-supplied trace_id is echoed in both
+#     the response envelope and the log row; repeated tuples are marked
+#     cached.
+#   - `kswsim serve --trace-out` writes a ksw.trace/v1 stream that
+#     `kswsim trace summarize` can read back.
+#   - `--metrics-out=-` in stdin mode is rejected with a usage error
+#     (exit 2), and --metrics-interval-ms rewrites the snapshot while the
+#     service is still running.
+#   - `kswsim reproduce --trace-out` emits reproduce.section /
+#     reproduce.point spans, and `kswsim trace export --chrome` turns
+#     them into trace-event JSON with a non-empty traceEvents array.
+#
+#   scripts/check_trace.sh [build-dir]
+#
+# Assumes the build dir already contains a compiled `kswsim`.
+set -euo pipefail
+
+build_dir="${1:-build}"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+kswsim="$src_dir/$build_dir/apps/kswsim"
+[ -x "$kswsim" ] || {
+  echo "check_trace: $kswsim not built (run cmake --build $build_dir)" >&2
+  exit 1
+}
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "== --metrics-out=- is rejected in stdin mode"
+got=0
+"$kswsim" serve --metrics-out=- </dev/null >/dev/null 2>"$work/reject.log" \
+  || got=$?
+[ "$got" -eq 2 ] || {
+  echo "check_trace: --metrics-out=-: expected exit 2, got $got" >&2
+  exit 1
+}
+grep -q "metrics-out" "$work/reject.log" || {
+  echo "check_trace: rejection did not name the offending flag" >&2
+  exit 1
+}
+
+echo "== serve writes an access log and a trace stream"
+# 9 valid requests over 3 distinct tuples (so two thirds hit the cache),
+# one with a client-supplied trace_id, plus one malformed line.
+for i in $(seq 0 8); do
+  if [ "$i" -eq 4 ]; then
+    echo "{\"kernel\":\"first_stage\",\"id\":$i,\"params\":{\"p\":0.$((i % 3 + 1))},\"trace_id\":\"00000000deadbeef\"}"
+  else
+    echo "{\"kernel\":\"first_stage\",\"id\":$i,\"params\":{\"p\":0.$((i % 3 + 1))}}"
+  fi
+done > "$work/requests.jsonl"
+echo 'this is not json' >> "$work/requests.jsonl"
+
+"$kswsim" serve --access-log="$work/access.jsonl" \
+  --trace-out="$work/trace.jsonl" \
+  < "$work/requests.jsonl" > "$work/responses.jsonl" 2>"$work/serve.log"
+
+rows=$(wc -l < "$work/access.jsonl")
+[ "$rows" -eq 10 ] || {
+  echo "check_trace: expected 10 access-log rows, got $rows" >&2
+  cat "$work/access.jsonl" >&2
+  exit 1
+}
+
+echo "== client-supplied trace_id is echoed end to end"
+grep -q '"trace_id":"00000000deadbeef"' "$work/responses.jsonl" || {
+  echo "check_trace: response did not echo the client trace_id" >&2
+  exit 1
+}
+grep -q '"trace_id":"00000000deadbeef"' "$work/access.jsonl" || {
+  echo "check_trace: access log did not record the client trace_id" >&2
+  exit 1
+}
+
+echo "== access rows carry cache and outcome fields"
+grep -q '"cached":true' "$work/access.jsonl" || {
+  echo "check_trace: no request was recorded as a cache hit" >&2
+  exit 1
+}
+grep -q '"error_kind":"usage"' "$work/access.jsonl" || {
+  echo "check_trace: the malformed line has no usage row" >&2
+  exit 1
+}
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "== access log and trace stream are valid JSONL"
+  python3 - "$work/access.jsonl" "$work/trace.jsonl" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as fh:
+        for n, line in enumerate(fh, 1):
+            doc = json.loads(line)
+            assert isinstance(doc, dict), f"{path}:{n}: not an object"
+with open(sys.argv[1]) as fh:
+    for n, line in enumerate(fh, 1):
+        row = json.loads(line)
+        tid = row["trace_id"]
+        assert len(tid) == 16 and int(tid, 16) >= 0, f"row {n}: bad trace_id"
+        assert row["queue_us"] >= 0 and row["eval_us"] >= 0, f"row {n}: bad timing"
+print("jsonl ok")
+EOF
+fi
+
+echo "== trace summarize reads the stream back"
+"$kswsim" trace summarize --in="$work/trace.jsonl" > "$work/summary.txt"
+grep -q "serve.request" "$work/summary.txt" || {
+  echo "check_trace: summarize does not show serve.request spans" >&2
+  cat "$work/summary.txt" >&2
+  exit 1
+}
+grep -q "p99_us" "$work/summary.txt" || {
+  echo "check_trace: summarize table is missing the quantile columns" >&2
+  exit 1
+}
+
+echo "== --metrics-interval-ms snapshots a live service"
+mkfifo "$work/stdin.fifo"
+"$kswsim" serve --metrics-out="$work/live.json" --metrics-interval-ms=25 \
+  < "$work/stdin.fifo" > "$work/live.jsonl" 2>"$work/live.log" &
+pid=$!
+exec 3> "$work/stdin.fifo"
+printf '{"kernel":"first_stage","id":"live","params":{"p":0.5}}\n' >&3
+# Give the ticker a few periods, then check the snapshot exists while the
+# service is still up (shutdown has not written it yet).
+for _ in $(seq 50); do
+  [ -s "$work/live.json" ] && break
+  sleep 0.1
+done
+kill -0 "$pid" 2>/dev/null || {
+  echo "check_trace: service exited before the live snapshot was checked" >&2
+  cat "$work/live.log" >&2
+  exit 1
+}
+[ -s "$work/live.json" ] || {
+  echo "check_trace: no live metrics snapshot after ~5s of ticking" >&2
+  exit 1
+}
+exec 3>&-
+wait "$pid" || {
+  echo "check_trace: serve exited non-zero after fifo close" >&2
+  cat "$work/live.log" >&2
+  exit 1
+}
+
+echo "== reproduce emits a stitchable trace; export --chrome loads"
+"$kswsim" reproduce --manifest="$src_dir/manifests/smoke.json" \
+  --out-dir="$work/book" --index="$work/book/INDEX.md" \
+  --trace-out="$work/repro.jsonl" >/dev/null 2>&1
+grep -q '"name":"reproduce.point"' "$work/repro.jsonl" || {
+  echo "check_trace: reproduce trace has no per-point spans" >&2
+  exit 1
+}
+"$kswsim" trace export --chrome --in="$work/repro.jsonl" \
+  --out="$work/chrome.json" 2>/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$work/chrome.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "traceEvents is empty"
+assert all(e["ph"] == "X" for e in events), "non-complete event in export"
+assert any(e["name"] == "reproduce.point" for e in events)
+print(f"chrome export ok ({len(events)} events)")
+EOF
+else
+  grep -q '"traceEvents"' "$work/chrome.json" || {
+    echo "check_trace: chrome export is missing traceEvents" >&2
+    exit 1
+  }
+fi
+
+echo "check_trace: OK"

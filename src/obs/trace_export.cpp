@@ -1,0 +1,215 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "io/json.hpp"
+#include "support/error.hpp"
+
+namespace ksw::obs {
+
+namespace {
+
+constexpr const char* kSchema = "ksw.trace/v1";
+
+/// Canonical record order: the serialized bytes must not depend on which
+/// thread won which sink slot.
+void canonicalize(std::vector<SpanRecord>* spans) {
+  std::sort(spans->begin(), spans->end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return std::tie(a.start_ns, a.span_id, a.trace_id, a.name) <
+                     std::tie(b.start_ns, b.span_id, b.trace_id, b.name);
+            });
+}
+
+void render_span_line(const SpanRecord& rec, std::ostream& os) {
+  os << "{\"name\":\"" << io::json_escape(rec.name) << "\",\"trace\":\""
+     << hex_id(rec.trace_id) << "\",\"span\":\"" << hex_id(rec.span_id)
+     << "\",\"parent\":";
+  if (rec.parent_id != 0)
+    os << '"' << hex_id(rec.parent_id) << '"';
+  else
+    os << "null";
+  os << ",\"start_ns\":" << rec.start_ns << ",\"dur_ns\":" << rec.dur_ns
+     << ",\"tid\":" << rec.tid;
+  if (!rec.labels.empty()) {
+    os << ",\"labels\":{";
+    for (std::size_t i = 0; i < rec.labels.size(); ++i) {
+      if (i != 0) os << ',';
+      os << '"' << io::json_escape(rec.labels[i].first) << "\":\""
+         << io::json_escape(rec.labels[i].second) << '"';
+    }
+    os << '}';
+  }
+  os << "}\n";
+}
+
+[[noreturn]] void bad_trace(std::size_t line_no, const std::string& what) {
+  throw ksw::usage_error("trace line " + std::to_string(line_no) + ": " +
+                         what);
+}
+
+std::uint64_t read_id(const io::Json& doc, const char* key,
+                      std::size_t line_no, bool nullable) {
+  if (!doc.contains(key)) {
+    if (nullable) return 0;
+    bad_trace(line_no, std::string(key) + ": required field");
+  }
+  const io::Json& value = doc.at(key);
+  if (nullable && value.is_null()) return 0;
+  if (!value.is_string())
+    bad_trace(line_no, std::string(key) + ": expected a hex id string");
+  const std::uint64_t id = parse_hex_id(value.as_string());
+  if (id == 0)
+    bad_trace(line_no,
+              std::string(key) + ": not a hex id: \"" + value.as_string() +
+                  "\"");
+  return id;
+}
+
+std::uint64_t read_u64(const io::Json& doc, const char* key,
+                       std::size_t line_no) {
+  if (!doc.contains(key))
+    bad_trace(line_no, std::string(key) + ": required field");
+  std::int64_t v = 0;
+  try {
+    v = doc.at(key).as_int();
+  } catch (const std::invalid_argument&) {
+    bad_trace(line_no, std::string(key) + ": expected an integer");
+  }
+  if (v < 0) bad_trace(line_no, std::string(key) + ": must be >= 0");
+  return static_cast<std::uint64_t>(v);
+}
+
+SpanRecord parse_span_line(const io::Json& doc, std::size_t line_no) {
+  for (const auto& key : doc.keys())
+    if (key != "name" && key != "trace" && key != "span" &&
+        key != "parent" && key != "start_ns" && key != "dur_ns" &&
+        key != "tid" && key != "labels")
+      bad_trace(line_no, key + ": unknown span field");
+  SpanRecord rec;
+  if (!doc.contains("name") || !doc.at("name").is_string())
+    bad_trace(line_no, "name: required string field");
+  rec.name = doc.at("name").as_string();
+  rec.trace_id = read_id(doc, "trace", line_no, /*nullable=*/false);
+  rec.span_id = read_id(doc, "span", line_no, /*nullable=*/false);
+  rec.parent_id = read_id(doc, "parent", line_no, /*nullable=*/true);
+  rec.start_ns = read_u64(doc, "start_ns", line_no);
+  rec.dur_ns = read_u64(doc, "dur_ns", line_no);
+  rec.tid = static_cast<std::uint32_t>(read_u64(doc, "tid", line_no));
+  if (doc.contains("labels")) {
+    const io::Json& labels = doc.at("labels");
+    if (!labels.is_object())
+      bad_trace(line_no, "labels: expected an object");
+    for (const auto& key : labels.keys()) {
+      if (!labels.at(key).is_string())
+        bad_trace(line_no, "labels." + key + ": expected a string");
+      rec.labels.emplace_back(key, labels.at(key).as_string());
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::string render_trace_jsonl(std::vector<SpanRecord> spans,
+                               std::uint64_t dropped) {
+  canonicalize(&spans);
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kSchema << "\",\"spans\":" << spans.size()
+     << ",\"dropped\":" << dropped << "}\n";
+  for (const SpanRecord& rec : spans) render_span_line(rec, os);
+  return os.str();
+}
+
+std::vector<SpanRecord> parse_trace_jsonl(const std::string& text,
+                                          std::uint64_t* dropped) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::vector<SpanRecord> spans;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    io::Json doc;
+    try {
+      doc = io::Json::parse(line);
+    } catch (const std::invalid_argument& e) {
+      bad_trace(line_no, e.what());
+    }
+    if (!doc.is_object()) bad_trace(line_no, "expected a JSON object");
+    if (!saw_header) {
+      if (!doc.contains("schema") || !doc.at("schema").is_string() ||
+          doc.at("schema").as_string() != kSchema)
+        bad_trace(line_no,
+                  std::string("expected a header with schema \"") + kSchema +
+                      "\"");
+      if (dropped != nullptr) *dropped = read_u64(doc, "dropped", line_no);
+      saw_header = true;
+      continue;
+    }
+    spans.push_back(parse_span_line(doc, line_no));
+  }
+  if (!saw_header)
+    throw ksw::usage_error("trace: empty input (no ksw.trace/v1 header)");
+  return spans;
+}
+
+std::string render_chrome_trace(const std::vector<SpanRecord>& spans) {
+  io::Json events = io::Json::array();
+  for (const SpanRecord& rec : spans) {
+    io::Json event = io::Json::object();
+    event.set("name", rec.name);
+    event.set("ph", "X");
+    event.set("cat", "ksw");
+    event.set("ts", static_cast<double>(rec.start_ns) / 1000.0);
+    event.set("dur", static_cast<double>(rec.dur_ns) / 1000.0);
+    event.set("pid", 1);
+    event.set("tid", static_cast<std::int64_t>(rec.tid));
+    io::Json args = io::Json::object();
+    args.set("trace", hex_id(rec.trace_id));
+    args.set("span", hex_id(rec.span_id));
+    if (rec.parent_id != 0) args.set("parent", hex_id(rec.parent_id));
+    for (const auto& [key, value] : rec.labels) args.set(key, value);
+    event.set("args", std::move(args));
+    events.push_back(std::move(event));
+  }
+  io::Json doc = io::Json::object();
+  doc.set("displayTimeUnit", "ms");
+  doc.set("traceEvents", std::move(events));
+  return doc.to_string(2) + "\n";
+}
+
+std::vector<TraceSummaryRow> summarize_spans(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::string, std::vector<std::uint64_t>> durations;
+  for (const SpanRecord& rec : spans)
+    durations[rec.name].push_back(rec.dur_ns);
+  std::vector<TraceSummaryRow> rows;
+  rows.reserve(durations.size());
+  for (auto& [name, ns] : durations) {
+    std::sort(ns.begin(), ns.end());
+    const auto rank = [&](double q) {
+      // Nearest-rank quantile over the sorted durations.
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(ns.size() - 1) + 0.5);
+      return static_cast<double>(ns[std::min(idx, ns.size() - 1)]) / 1000.0;
+    };
+    TraceSummaryRow row;
+    row.name = name;
+    row.count = ns.size();
+    double total_ns = 0.0;
+    for (const std::uint64_t d : ns) total_ns += static_cast<double>(d);
+    row.total_ms = total_ns / 1e6;
+    row.p50_us = rank(0.5);
+    row.p99_us = rank(0.99);
+    row.max_us = static_cast<double>(ns.back()) / 1000.0;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace ksw::obs

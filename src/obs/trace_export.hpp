@@ -1,0 +1,57 @@
+// ksw.trace/v1 serialization and post-processing for the span layer:
+// JSONL render/parse, Chrome trace-event export (opens in Perfetto or
+// chrome://tracing), and the per-span-name latency summary behind
+// `kswsim trace summarize`.
+//
+// Stream format (one JSON document per line):
+//   {"schema":"ksw.trace/v1","spans":N,"dropped":D}     <- header
+//   {"name":"...","trace":"<hex16>","span":"<hex16>",
+//    "parent":"<hex16>"|null,"start_ns":I,"dur_ns":I,
+//    "tid":I,"labels":{"k":"v",...}}                    <- one per span
+//
+// Rendering canonicalizes span order (start_ns, span id, trace id, name),
+// so the emitted bytes are a pure function of the record *set* — traces
+// merged from several sinks, or drained in a different thread
+// interleaving, serialize identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace ksw::obs {
+
+/// One row of the per-span-name summary (durations in microseconds).
+struct TraceSummaryRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Serialize spans as a ksw.trace/v1 JSONL document (canonical order,
+/// trailing newline).
+[[nodiscard]] std::string render_trace_jsonl(std::vector<SpanRecord> spans,
+                                             std::uint64_t dropped);
+
+/// Strict parse of a ksw.trace/v1 document. Throws ksw::Error(kUsage)
+/// naming the offending line on any schema violation. `dropped`, when
+/// non-null, receives the header's drop count.
+[[nodiscard]] std::vector<SpanRecord> parse_trace_jsonl(
+    const std::string& text, std::uint64_t* dropped = nullptr);
+
+/// Chrome trace-event JSON ("X" complete events, microsecond
+/// timestamps); loads in Perfetto and chrome://tracing.
+[[nodiscard]] std::string render_chrome_trace(
+    const std::vector<SpanRecord>& spans);
+
+/// Per-span-name count and latency quantiles, name-ordered. Quantiles
+/// are exact (nearest-rank over the sorted durations), not bucketed.
+[[nodiscard]] std::vector<TraceSummaryRow> summarize_spans(
+    const std::vector<SpanRecord>& spans);
+
+}  // namespace ksw::obs

@@ -1,0 +1,60 @@
+#include "serve/access_log.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace ksw::serve {
+
+namespace {
+
+/// Microseconds with fixed sub-microsecond precision: enough to see the
+/// queue/eval split, stable width for eyeballing logs.
+std::string micros(double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", us < 0.0 ? 0.0 : us);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_access_entry(const AccessEntry& entry) {
+  std::string line = "{\"trace_id\":\"" + io::json_escape(entry.trace_id) +
+                     "\",\"id\":" + entry.id.to_string() + ",\"kernel\":";
+  if (entry.kernel.empty())
+    line += "null";
+  else
+    line += "\"" + io::json_escape(entry.kernel) + "\"";
+  line += ",\"ok\":";
+  line += entry.ok ? "true" : "false";
+  if (!entry.error_kind.empty())
+    line += ",\"error_kind\":\"" + io::json_escape(entry.error_kind) + "\"";
+  line += ",\"cached\":";
+  line += entry.cached ? "true" : "false";
+  line += ",\"shard\":" + std::to_string(entry.shard);
+  line += ",\"queue_us\":" + micros(entry.queue_us);
+  line += ",\"eval_us\":" + micros(entry.eval_us);
+  if (entry.deadline_ms > 0)
+    line += ",\"deadline_ms\":" + std::to_string(entry.deadline_ms);
+  line += "}";
+  return line;
+}
+
+AccessLog::AccessLog(const std::string& path)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_)
+    throw ksw::io_error("--access-log: cannot open " + path +
+                        " for writing");
+}
+
+void AccessLog::write(const std::vector<AccessEntry>& entries) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const AccessEntry& entry : entries) {
+    out_ << render_access_entry(entry) << '\n';
+  }
+  out_.flush();
+  if (!out_)
+    throw ksw::io_error("--access-log: write to " + path_ + " failed");
+}
+
+}  // namespace ksw::serve

@@ -244,7 +244,7 @@ Request Request::parse(const std::string& line,
     if (!doc.is_object()) bad_request("request: expected a JSON object");
     for (const auto& key : doc.keys())
       if (key != "schema" && key != "id" && key != "kernel" &&
-          key != "params" && key != "deadline_ms")
+          key != "params" && key != "deadline_ms" && key != "trace_id")
         bad_request(key + ": unknown request field");
     if (doc.contains("schema") &&
         doc.at("schema").as_string() != "ksw.query/v1")
@@ -254,6 +254,14 @@ Request Request::parse(const std::string& line,
       if (id.is_array() || id.is_object())
         bad_request("id: expected a scalar");
       req.id = id;
+    }
+    if (doc.contains("trace_id")) {
+      const io::Json& trace = doc.at("trace_id");
+      if (!trace.is_string() || trace.as_string().empty())
+        bad_request("trace_id: expected a non-empty string");
+      if (trace.as_string().size() > 64)
+        bad_request("trace_id: at most 64 characters");
+      req.trace_id = trace.as_string();
     }
     if (!doc.contains("kernel")) bad_request("kernel: required field");
     req.query =
@@ -283,9 +291,23 @@ std::uint64_t fnv1a64(const std::string& text) noexcept {
   return hash;
 }
 
+namespace {
+
+/// The optional trace_id envelope field, placed right after "id" so
+/// correlation fields lead the line. Empty renders nothing — untraced
+/// responses keep the historic bytes.
+std::string trace_field(const std::string& trace_id) {
+  if (trace_id.empty()) return {};
+  return ",\"trace_id\":\"" + io::json_escape(trace_id) + "\"";
+}
+
+}  // namespace
+
 std::string render_ok(const io::Json& id, Kernel kernel, bool cached,
-                      const std::string& result_bytes) {
-  std::string line = "{\"id\":" + id.to_string() + ",\"ok\":true,";
+                      const std::string& result_bytes,
+                      const std::string& trace_id) {
+  std::string line =
+      "{\"id\":" + id.to_string() + trace_field(trace_id) + ",\"ok\":true,";
   line += "\"kernel\":\"";
   line += kernel_name(kernel);
   line += "\",\"cached\":";
@@ -297,8 +319,9 @@ std::string render_ok(const io::Json& id, Kernel kernel, bool cached,
 }
 
 std::string render_error(const io::Json& id, const std::string& kind,
-                         const std::string& message) {
-  return "{\"id\":" + id.to_string() +
+                         const std::string& message,
+                         const std::string& trace_id) {
+  return "{\"id\":" + id.to_string() + trace_field(trace_id) +
          ",\"ok\":false,\"error\":{\"kind\":\"" + io::json_escape(kind) +
          "\",\"message\":\"" + io::json_escape(message) + "\"}}";
 }

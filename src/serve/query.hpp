@@ -80,6 +80,10 @@ struct Query {
 /// carries its in-band error.
 struct Request {
   io::Json id;  ///< echoed verbatim (null when absent)
+  /// Client-supplied trace id (echoed verbatim in the response and the
+  /// access log). Empty = none; the service generates one when request
+  /// observability (--access-log / --trace-out) is on.
+  std::string trace_id;
   Query query;
   std::int64_t deadline_ms = 0;  ///< 0 = no deadline
   std::chrono::steady_clock::time_point arrival{};
@@ -102,14 +106,18 @@ struct Request {
 
 /// Render a success response line (no trailing newline): the envelope
 /// around pre-serialized result bytes, which are spliced in verbatim so
-/// cached and freshly computed responses are bit-identical.
+/// cached and freshly computed responses are bit-identical. A non-empty
+/// `trace_id` adds a "trace_id" field right after "id"; the default
+/// keeps the historic envelope byte-for-byte.
 [[nodiscard]] std::string render_ok(const io::Json& id, Kernel kernel,
                                     bool cached,
-                                    const std::string& result_bytes);
+                                    const std::string& result_bytes,
+                                    const std::string& trace_id = {});
 
 /// Render an error response line (no trailing newline).
 [[nodiscard]] std::string render_error(const io::Json& id,
                                        const std::string& kind,
-                                       const std::string& message);
+                                       const std::string& message,
+                                       const std::string& trace_id = {});
 
 }  // namespace ksw::serve

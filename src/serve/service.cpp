@@ -150,9 +150,18 @@ class FdLineReader {
 }  // namespace
 
 Service::Service(ServeOptions opts)
-    : opts_(opts),
-      cache_(opts.cache_mb * 1024 * 1024),
-      pool_(opts.threads) {
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_mb * 1024 * 1024),
+      pool_(opts_.threads) {
+  if (!opts_.access_log.empty())
+    access_log_ = std::make_unique<AccessLog>(opts_.access_log);
+  // Generated trace ids must differ across processes started in the same
+  // instant-ish; they carry no meaning beyond uniqueness.
+  trace_base_ = obs::fnv1a64(
+      std::to_string(std::chrono::system_clock::now()
+                         .time_since_epoch()
+                         .count()) +
+      "/" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
   requests_ = &registry_.counter("serve.requests");
   batches_ = &registry_.counter("serve.batches");
   ok_ = &registry_.counter("serve.responses.ok");
@@ -163,7 +172,24 @@ Service::Service(ServeOptions opts)
   // 25 us resolution out to 10 ms; slower evaluations land in the
   // overflow tally and the quantiles report the upper edge.
   service_us_ = &registry_.histogram("serve.service_us", 0.0, 25.0, 400);
+  queue_us_ = &registry_.histogram("serve.queue_us", 0.0, 25.0, 400);
   batch_wall_ = &registry_.timer("serve.batch_wall");
+}
+
+std::string Service::generate_trace_id() {
+  // splitmix64 over a per-process base: unique, cheap, and clearly not a
+  // simulation-derived (deterministic) quantity.
+  std::uint64_t x =
+      trace_base_ +
+      0x9e3779b97f4a7c15ull *
+          (trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  if (x == 0) x = 1;  // hex16 "0" doubles as "no id" elsewhere
+  return obs::hex_id(x);
 }
 
 void Service::serve_batch(std::vector<Request> batch, std::string* out,
@@ -174,53 +200,121 @@ void Service::serve_batch(std::vector<Request> batch, std::string* out,
   requests_->inc(batch.size());
   queue_depth_->record_max(static_cast<double>(batch.size()));
 
+  // Request observability: access-log rows and per-request spans, plus
+  // trace_id generation for requests that did not bring one. All of it
+  // is off (and the response bytes historic) unless opted into.
+  const bool observing = access_log_ != nullptr || opts_.tracer != nullptr;
+  obs::Span batch_span;
+  if (opts_.tracer != nullptr) {
+    batch_span = opts_.tracer->span("serve.batch");
+    batch_span.label("requests", std::to_string(batch.size()));
+  }
+
   std::vector<std::string> responses(batch.size());
   std::vector<bool> succeeded(batch.size(), false);
+  std::vector<AccessEntry> entries(observing ? batch.size() : 0);
   std::vector<double> service_us(batch.size(), 0.0);
+  std::vector<double> queue_us(batch.size(), 0.0);
 
   par::parallel_for(pool_, batch.size(), [&](std::size_t i) {
-    const Request& req = batch[i];
+    Request& req = batch[i];
+    if (observing && req.trace_id.empty())
+      req.trace_id = generate_trace_id();
     const Clock::time_point start = Clock::now();
+    queue_us[i] =
+        std::chrono::duration<double, std::micro>(start - req.arrival)
+            .count();
+    obs::Span span;
+    if (opts_.tracer != nullptr) {
+      // Worker threads have no open parent; link the batch explicitly so
+      // the request nests under it in trace viewers.
+      span = obs::Span(opts_.tracer, "serve.request",
+                       obs::parse_hex_id(req.trace_id) != 0
+                           ? obs::parse_hex_id(req.trace_id)
+                           : obs::fnv1a64(req.trace_id));
+      span.label("kernel",
+                 req.valid() ? kernel_name(req.query.kernel) : "invalid");
+    }
+    bool cached = false;
+    int shard = -1;
+    const char* error_kind = nullptr;
+    std::string error_message;
     if (!req.valid()) {
-      responses[i] = render_error(req.id, req.error_kind, req.error_message);
+      error_kind = wire::kUsage;  // parse-time failure, kind preserved below
+      responses[i] = render_error(req.id, req.error_kind, req.error_message,
+                                  req.trace_id);
     } else if (cancel != nullptr && cancel->requested()) {
+      error_kind = wire::kInterrupted;
       responses[i] = render_error(req.id, wire::kInterrupted,
-                                  "service is shutting down");
+                                  "service is shutting down", req.trace_id);
     } else if (deadline_expired(req)) {
+      error_kind = wire::kDeadline;
       responses[i] = render_error(
           req.id, wire::kDeadline,
           "deadline of " + std::to_string(req.deadline_ms) +
-              " ms expired before evaluation");
+              " ms expired before evaluation",
+          req.trace_id);
     } else {
       const std::string key = req.query.canonical();
       const std::uint64_t hash = fnv1a64(key);
+      shard = static_cast<int>(hash % cache_.shard_count());
       if (auto hit = cache_.lookup(hash, key)) {
         hits_->inc();
-        responses[i] = render_ok(req.id, req.query.kernel, true, *hit);
+        cached = true;
+        responses[i] =
+            render_ok(req.id, req.query.kernel, true, *hit, req.trace_id);
         succeeded[i] = true;
       } else {
         misses_->inc();
         try {
           std::string bytes = evaluate_bytes(req.query);
-          responses[i] = render_ok(req.id, req.query.kernel, false, bytes);
+          responses[i] = render_ok(req.id, req.query.kernel, false, bytes,
+                                   req.trace_id);
           cache_.insert(hash, key, std::move(bytes));
           succeeded[i] = true;
         } catch (const std::exception& e) {
-          responses[i] = render_error(req.id, wire_kind(e), e.what());
+          error_kind = wire_kind(e);
+          responses[i] =
+              render_error(req.id, error_kind, e.what(), req.trace_id);
         }
       }
     }
     service_us[i] = micros_since(start);
+    if (span.active()) {
+      span.label("cached", cached ? "true" : "false");
+      if (!succeeded[i]) span.label("error", error_kind ? error_kind : "?");
+    }
+    if (observing) {
+      AccessEntry& entry = entries[i];
+      entry.trace_id = req.trace_id;
+      entry.id = req.id;
+      if (req.valid()) entry.kernel = kernel_name(req.query.kernel);
+      entry.ok = succeeded[i];
+      if (!succeeded[i])
+        entry.error_kind = req.valid() ? error_kind : req.error_kind;
+      entry.cached = cached;
+      entry.shard = shard;
+      entry.queue_us = queue_us[i];
+      entry.eval_us = service_us[i];
+      entry.deadline_ms = req.deadline_ms;
+    }
   });
 
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  {
     // Histogram updates are single-writer: recorded here, after the
-    // parallel section.
-    service_us_->record(service_us[i]);
+    // parallel section, under the lock report() shares.
+    const std::lock_guard<std::mutex> lock(hist_mu_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      service_us_->record(service_us[i]);
+      queue_us_->record(queue_us[i]);
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
     (succeeded[i] ? ok_ : errors_)->inc();
     out->append(responses[i]);
     out->push_back('\n');
   }
+  if (access_log_ != nullptr) access_log_->write(entries);
 }
 
 ServeSummary Service::run(std::istream& in, std::ostream& out,
@@ -363,10 +457,14 @@ io::Json Service::report(bool include_wall) const {
   config.set("batch", static_cast<std::int64_t>(opts_.batch));
   config.set("cache_mb", static_cast<std::int64_t>(opts_.cache_mb));
   config.set("deadline_ms", opts_.deadline_ms);
+  config.set("access_log", !opts_.access_log.empty());
   doc.set("config", std::move(config));
 
-  doc.set("metrics",
-          obs::registry_to_json(registry_, {.include_wall = include_wall}));
+  {
+    const std::lock_guard<std::mutex> lock(hist_mu_);
+    doc.set("metrics",
+            obs::registry_to_json(registry_, {.include_wall = include_wall}));
+  }
 
   const EvalCache::Stats stats = cache_.stats();
   io::Json cache = io::Json::object();
@@ -384,11 +482,17 @@ io::Json Service::report(bool include_wall) const {
                                   static_cast<double>(consulted));
   doc.set("cache", std::move(cache));
 
-  io::Json latency = io::Json::object();
-  latency.set("p50_us", service_us_->quantile(0.5));
-  latency.set("p99_us", service_us_->quantile(0.99));
-  latency.set("mean_us", service_us_->mean());
-  doc.set("latency", std::move(latency));
+  {
+    const std::lock_guard<std::mutex> lock(hist_mu_);
+    io::Json latency = io::Json::object();
+    latency.set("p50_us", service_us_->quantile(0.5));
+    latency.set("p99_us", service_us_->quantile(0.99));
+    latency.set("p999_us", service_us_->quantile(0.999));
+    latency.set("mean_us", service_us_->mean());
+    latency.set("queue_p50_us", queue_us_->quantile(0.5));
+    latency.set("queue_p99_us", queue_us_->quantile(0.99));
+    doc.set("latency", std::move(latency));
+  }
   return doc;
 }
 

@@ -22,9 +22,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "par/cancel.hpp"
 #include "par/thread_pool.hpp"
+#include "serve/access_log.hpp"
 #include "serve/cache.hpp"
 #include "serve/query.hpp"
 
@@ -35,6 +39,12 @@ struct ServeOptions {
   std::size_t batch = 64;        ///< max requests dispatched per batch
   std::uint64_t cache_mb = 64;   ///< evaluation-cache capacity (0 = off)
   std::int64_t deadline_ms = 0;  ///< default per-request deadline (0 = none)
+  /// Request-level observability (docs/SERVING.md "Request telemetry"):
+  /// a JSONL access-log path ("" = off) and an optional span sink (not
+  /// owned). Either one turns on trace_id generation for requests that
+  /// do not carry their own.
+  std::string access_log;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// What a serve loop did; the CLI turns `interrupted` into exit 130
@@ -74,8 +84,11 @@ class Service {
   ServeSummary run_listen(const std::string& socket_path,
                           const par::CancelToken* cancel);
 
-  /// Structured snapshot: serve counters/timers, cache stats, p50/p99
-  /// service time. Schema "ksw.obs.report/v1", command "serve".
+  /// Structured snapshot: serve counters/timers, cache stats,
+  /// p50/p99/p999 service time. Schema "ksw.obs.report/v1", command
+  /// "serve". Thread-safe against a concurrent serving loop, so a
+  /// metrics thread (--metrics-interval-ms) can snapshot a live
+  /// service.
   [[nodiscard]] io::Json report(bool include_wall = true) const;
 
   [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
@@ -85,10 +98,17 @@ class Service {
   [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
 
  private:
+  /// Fresh trace id for a request that arrived without one (only called
+  /// when request observability is on). Nondeterministic by design.
+  [[nodiscard]] std::string generate_trace_id();
+
   ServeOptions opts_;
   obs::Registry registry_;
   EvalCache cache_;
   par::ThreadPool pool_;
+  std::unique_ptr<AccessLog> access_log_;
+  std::uint64_t trace_base_ = 0;           ///< per-process id entropy
+  std::atomic<std::uint64_t> trace_seq_{0};
 
   obs::Counter* requests_ = nullptr;
   obs::Counter* batches_ = nullptr;
@@ -98,7 +118,12 @@ class Service {
   obs::Counter* misses_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Histogram* service_us_ = nullptr;
+  obs::Histogram* queue_us_ = nullptr;
   obs::Timer* batch_wall_ = nullptr;
+  /// Histograms are single-writer by design; this lock serializes the
+  /// post-batch record loop against report() so a metrics thread can
+  /// snapshot a live service without a data race.
+  mutable std::mutex hist_mu_;
 };
 
 }  // namespace ksw::serve

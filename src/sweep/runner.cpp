@@ -292,17 +292,45 @@ PointResult run_point(const Section& section, const Point& pt,
   return run_first_stage_point(section, pt, pool, cancel);
 }
 
+/// Stable trace id for a grid point (or, with index npos, a section):
+/// a pure function of (manifest fingerprint, section id, point index),
+/// so re-runs and resumed runs key the same work to the same trace.
+std::uint64_t point_trace_id(const RunOptions& options,
+                             const std::string& section_id,
+                             std::size_t index) {
+  std::string key = options.trace_key + "/" + section_id;
+  if (index != static_cast<std::size_t>(-1))
+    key += "#" + std::to_string(index);
+  const std::uint64_t id = obs::fnv1a64(key);
+  return id != 0 ? id : 1;
+}
+
 SectionResult run_section_with(const Section& section, par::ThreadPool& pool,
                                const RunOptions& options) {
   SectionResult result;
   result.section = section;
+  obs::Span section_span;
+  if (options.tracer != nullptr) {
+    section_span = obs::Span(
+        options.tracer, "reproduce.section",
+        point_trace_id(options, section.id, static_cast<std::size_t>(-1)));
+    section_span.label("section", section.id);
+  }
   for (std::size_t idx = 0; idx < section.points.size(); ++idx) {
     const Point& pt = section.points[idx];
     if (options.cancel != nullptr && options.cancel->requested())
       throw interrupted_error("sweep cancelled before point '" + pt.label() +
                               "' of section '" + section.id + "'");
+    obs::Span point_span;
+    if (options.tracer != nullptr) {
+      point_span = obs::Span(options.tracer, "reproduce.point",
+                             point_trace_id(options, section.id, idx));
+      point_span.label("section", section.id);
+      point_span.label("point", pt.label());
+    }
     if (options.journal != nullptr) {
       if (const PointResult* done = options.journal->find(section.id, idx)) {
+        point_span.label("source", "journal");
         result.points.push_back(*done);
         continue;
       }
@@ -347,6 +375,8 @@ SectionResult run_section_with(const Section& section, par::ThreadPool& pool,
       }
     }
 
+    point_span.label(
+        "source", point_result.degraded ? "degraded" : "computed");
     if (options.journal != nullptr && !point_result.degraded)
       options.journal->record(section.id, idx, point_result);
     result.points.push_back(std::move(point_result));

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "par/thread_pool.hpp"
 #include "sweep/manifest.hpp"
 
@@ -91,6 +92,16 @@ struct RunOptions {
   std::int64_t point_timeout_ms = 0;
   /// One line per section as it completes, when non-null.
   std::ostream* progress = nullptr;
+  /// Span sink (not owned; nullptr = tracing off). Each section and each
+  /// grid point emits a span; point trace ids are derived from
+  /// `trace_key` + section id + point index, so they are *stable across
+  /// runs of the same manifest* — an interrupted run and its --resume
+  /// continuation emit stitchable traces, with replayed-from-journal
+  /// points labelled source=journal.
+  obs::Tracer* tracer = nullptr;
+  /// Stable trace-id salt; use the checkpoint journal's manifest
+  /// fingerprint (sweep::manifest_fingerprint).
+  std::string trace_key;
 };
 
 /// Run one section (exposed for tests and --section filtering). A point

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -335,6 +339,66 @@ TEST(Serve, RejectsOutOfDomainFlags) {
   EXPECT_EQ(invoke({"serve", "--batch=0"}).code, 2);
   EXPECT_EQ(invoke({"serve", "--deadline-ms=-5"}).code, 2);
   EXPECT_EQ(invoke({"serve", "--threads=-1"}).code, 2);
+}
+
+TEST(Serve, RejectsMetricsToStdoutInStdinMode) {
+  // stdout is the JSONL response channel in stdin mode; an interleaved
+  // metrics report would corrupt the protocol stream. Validation runs
+  // before the first read, so this fails fast instead of blocking.
+  const auto r = invoke({"serve", "--metrics-out=-"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--metrics-out=-"), std::string::npos);
+}
+
+TEST(Serve, MetricsIntervalRequiresAMetricsFile) {
+  EXPECT_EQ(invoke({"serve", "--metrics-interval-ms=50"}).code, 2);
+}
+
+// ---------------------------------------------------------------------------
+// trace (docs/OBSERVABILITY.md "Tracing")
+// ---------------------------------------------------------------------------
+
+TEST(Trace, RequiresActionInputAndKnownFlags) {
+  EXPECT_EQ(invoke({"trace"}).code, 2);
+  EXPECT_EQ(invoke({"trace", "frobnicate"}).code, 2);
+  EXPECT_EQ(invoke({"trace", "summarize"}).code, 2);          // no --in
+  EXPECT_EQ(invoke({"trace", "export", "--in=x"}).code, 2);   // no --chrome
+  EXPECT_EQ(invoke({"trace", "summarize", "--in=x", "--bogus=1"}).code, 2);
+  // A well-formed invocation over a missing file is an I/O error.
+  EXPECT_EQ(invoke({"trace", "summarize", "--in=/no/such/file"}).code, 5);
+}
+
+TEST(Trace, SummarizesAndExportsAStream) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("ksw_cli_trace_" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+  {
+    std::ofstream file(path);
+    file << R"({"schema":"ksw.trace/v1","spans":2,"dropped":1})" << "\n"
+         << R"({"name":"serve.request","trace":"00000000000000aa",)"
+         << R"("span":"0000000000000001","parent":null,"start_ns":10,)"
+         << R"("dur_ns":5000,"tid":0,"labels":{"kernel":"first_stage"}})"
+         << "\n"
+         << R"({"name":"serve.request","trace":"00000000000000ab",)"
+         << R"("span":"0000000000000002","parent":null,"start_ns":20,)"
+         << R"("dur_ns":15000,"tid":1,"labels":{}})"
+         << "\n";
+  }
+
+  const auto summary = invoke({"trace", "summarize", "--in=" + path});
+  EXPECT_EQ(summary.code, 0);
+  EXPECT_NE(summary.out.find("serve.request"), std::string::npos);
+  EXPECT_NE(summary.out.find("p99_us"), std::string::npos);
+  EXPECT_NE(summary.out.find("dropped"), std::string::npos);
+
+  const auto chrome =
+      invoke({"trace", "export", "--chrome", "--in=" + path});
+  EXPECT_EQ(chrome.code, 0);
+  EXPECT_NE(chrome.out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.out.find("\"ph\": \"X\""), std::string::npos);
+
+  std::filesystem::remove(path);
 }
 
 TEST(Reproduce, ListPrintsSectionsWithoutRunning) {
