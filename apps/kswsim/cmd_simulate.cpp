@@ -4,7 +4,8 @@
 //                   [--hotspot=H] [--hotspot-target=PORT]
 //                   [--service=det:1] [--cycles=N]
 //                   [--warmup=N] [--seed=N] [--replicates=R] [--threads=T]
-//                   [--buffer-capacity=C] [--correlations]
+//                   [--buffer-capacity=C] [--flow=vct|saf|credit]
+//                   [--credit-latency=N] [--correlations]
 //                   [--checkpoints=3,6,9,12] [--format=table|json|csv]
 //                   [--metrics-out=FILE] [--obs-stride=N] [--obs-trace=N]
 //                   [--obs-wall]
@@ -98,6 +99,8 @@ io::Json build_run_report(const sim::NetworkConfig& cfg,
   config.set("service_mean", cfg.service.mean());
   config.set("rho", cfg.rho());
   config.set("buffer_capacity", static_cast<std::int64_t>(cfg.buffer_capacity));
+  config.set("flow", sim::to_string(cfg.flow));
+  config.set("credit_latency", static_cast<std::int64_t>(cfg.credit_latency));
   config.set("warmup_cycles", static_cast<std::int64_t>(cfg.warmup_cycles));
   config.set("measure_cycles", static_cast<std::int64_t>(cfg.measure_cycles));
   config.set("seed", static_cast<std::uint64_t>(cfg.seed));
@@ -177,6 +180,29 @@ int cmd_simulate(const ArgMap& args, std::ostream& out, std::ostream& err) {
   cfg.warmup_cycles = args.get_int("warmup", cfg.measure_cycles / 10);
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.buffer_capacity = args.get_unsigned("buffer-capacity", 0);
+  const std::string flow = args.get("flow", "vct");
+  try {
+    cfg.flow = sim::parse_flow_control(flow);
+  } catch (const std::invalid_argument&) {
+    throw usage_error("--flow: expected vct|saf|credit, got \"" + flow +
+                      "\"");
+  }
+  cfg.credit_latency = args.get_unsigned("credit-latency", 2);
+  if (cfg.flow != sim::FlowControl::kCutThrough && cfg.buffer_capacity == 0)
+    throw usage_error("--flow=" + flow +
+                      " requires a finite --buffer-capacity");
+  if (cfg.flow == sim::FlowControl::kCredit && cfg.credit_latency == 0)
+    throw usage_error("--credit-latency must be >= 1");
+  // Fail the out-of-range hotspot target eagerly as a usage error (exit 2)
+  // instead of surfacing the engine's invalid_argument later.
+  {
+    std::uint64_t ports = 1;
+    for (unsigned i = 0; i < cfg.stages && ports <= 0xffffffffull; ++i)
+      ports *= cfg.k;
+    if (cfg.hotspot_target >= ports)
+      throw usage_error("--hotspot-target: must name a port < k^stages (" +
+                        std::to_string(ports) + ")");
+  }
   cfg.track_correlations = args.get_flag("correlations");
   cfg.total_checkpoints = parse_checkpoints(args.get("checkpoints", ""));
   const unsigned replicates = args.get_unsigned("replicates", 1);

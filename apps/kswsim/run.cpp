@@ -26,7 +26,8 @@ commands:
              --hotspot-target=0  (must be a valid output port)
              --topology=butterfly|omega --service=det:1 --cycles=50000
              --warmup=auto --seed=1 --replicates=1 --threads=0
-             --buffer-capacity=0 --correlations --checkpoints=3,6,9,12
+             --buffer-capacity=0 --flow=vct|saf|credit --credit-latency=2
+             --correlations --checkpoints=3,6,9,12
              --metrics-out=FILE|- --obs-stride=64 --obs-trace=24
              --obs-wall  (structured run report; see docs/OBSERVABILITY.md)
   calibrate  re-fit the Section IV interpolation constants

@@ -54,7 +54,11 @@ double Histogram::mean() const noexcept {
 double Histogram::quantile(double q) const {
   if (!(q >= 0.0 && q <= 1.0))
     throw std::invalid_argument("Histogram::quantile: q must be in [0, 1]");
-  if (total_ == 0) return 0.0;
+  // No samples: clamp to the low bucket edge (not 0.0, which lies outside
+  // the histogram's range whenever lower_ != 0). Every return below stays
+  // within [lower_, lower_ + width_ * buckets] — never NaN, never an
+  // extrapolation.
+  if (total_ == 0) return lower_;
   const double rank = q * static_cast<double>(total_);
   double cumulative = static_cast<double>(underflow_);
   if (underflow_ > 0 && rank <= cumulative) return lower_;

@@ -101,10 +101,14 @@ class Histogram {
   /// Mean of the raw recorded values (not bucket midpoints); 0 when empty.
   [[nodiscard]] double mean() const noexcept;
 
-  /// Approximate quantile (q in [0, 1]) by linear interpolation inside
-  /// the bucket holding the rank. Underflow mass reports the lower bound,
-  /// overflow mass the upper bound; 0 when the histogram is empty. Used
-  /// for p50/p99 service-time summaries in run reports.
+  /// Approximate quantile (q in [0, 1]; anything else throws) by linear
+  /// interpolation inside the bucket holding the rank. The result is
+  /// always clamped to the histogram's range [lower, lower + width *
+  /// buckets]: underflow mass reports the lower bound, overflow mass the
+  /// upper bound, and an empty histogram returns the lower bound — never
+  /// NaN, never a value outside the bucket edges. q = 0 lands on the
+  /// lowest occupied edge, q = 1 on the highest. Used for p50/p99
+  /// service-time summaries in run reports.
   [[nodiscard]] double quantile(double q) const;
 
  private:

@@ -6,6 +6,8 @@
 #include "core/closed_forms.hpp"
 #include "core/first_stage.hpp"
 #include "core/total_delay.hpp"
+#include "sim/network.hpp"
+#include "sim/replicate.hpp"
 #include "sim/service_spec.hpp"
 #include "support/error.hpp"
 #include "tables/table.hpp"
@@ -121,6 +123,122 @@ io::Json eval_total_delay(const Query& q) {
   return result;
 }
 
+/// NetworkConfig for one simulation kernel run. depth == 0 is the
+/// infinite-queue baseline (buffer_sweep's convergence reference); the
+/// flow scheme only applies to finite depths.
+sim::NetworkConfig sim_config(const Query& q, unsigned depth) {
+  sim::NetworkConfig cfg;
+  cfg.k = q.k;
+  cfg.stages = q.stages;
+  cfg.p = q.p;
+  cfg.bulk = q.bulk;
+  cfg.q = q.q;
+  cfg.service = sim::ServiceSpec::parse(q.service);
+  cfg.warmup_cycles = q.warmup;
+  cfg.measure_cycles = q.cycles;
+  cfg.buffer_capacity = depth;
+  if (depth > 0) {
+    cfg.flow = sim::parse_flow_control(q.flow);
+    if (cfg.flow == sim::FlowControl::kCredit)
+      cfg.credit_latency = q.credit_latency;
+  }
+  return cfg;
+}
+
+/// One depth point: replicate sequentially (the service evaluates one
+/// request at a time) with the canonical per-replicate seeds, merged in
+/// index order — the same bytes replicate_network would produce.
+///
+/// Every emitted field derives from NetworkResults' packet counters and
+/// stage accumulators, never from the obs registry, so responses are
+/// identical whether or not the binary was built with KSW_OBS_ENABLED.
+io::Json sim_point(const Query& q, unsigned depth) {
+  sim::NetworkConfig cfg = sim_config(q, depth);
+  sim::NetworkResults merged;
+  for (unsigned i = 0; i < q.replicates; ++i) {
+    cfg.seed = sim::replicate_seed(q.seed, i);
+    sim::NetworkResults one = sim::run_network(cfg);
+    if (i == 0)
+      merged = std::move(one);
+    else
+      merged.merge(one);
+  }
+
+  double ports = 1.0;
+  for (unsigned i = 0; i < q.stages; ++i) ports *= q.k;
+  const double offered = static_cast<double>(merged.packets_injected +
+                                             merged.packets_dropped);
+  const double accept_ratio =
+      offered > 0.0
+          ? static_cast<double>(merged.packets_injected) / offered
+          : 1.0;
+  const double measured_slots =
+      ports * static_cast<double>(q.cycles) *
+      static_cast<double>(q.replicates);
+
+  io::Json result = io::Json::object();
+  result.set("depth", static_cast<std::int64_t>(depth));
+  result.set("packets_injected",
+             static_cast<std::int64_t>(merged.packets_injected));
+  result.set("packets_delivered",
+             static_cast<std::int64_t>(merged.packets_delivered));
+  result.set("packets_dropped",
+             static_cast<std::int64_t>(merged.packets_dropped));
+  result.set("accept_ratio", accept_ratio);
+  result.set("drop_rate", 1.0 - accept_ratio);
+  result.set("throughput",
+             static_cast<double>(merged.packets_delivered) / measured_slots);
+  result.set("mean_wait_first", merged.stage_wait.front().mean());
+  result.set("mean_wait_last", merged.stage_wait.back().mean());
+  double total = 0.0;
+  for (const auto& acc : merged.stage_wait) total += acc.mean();
+  result.set("mean_wait_total", total);
+  return result;
+}
+
+/// The simulated tuple echoed once per response, so a result is
+/// self-describing without the request line.
+io::Json sim_tuple(const Query& q) {
+  io::Json tuple = io::Json::object();
+  tuple.set("k", static_cast<std::int64_t>(q.k));
+  tuple.set("stages", static_cast<std::int64_t>(q.stages));
+  double ports = 1.0;
+  for (unsigned i = 0; i < q.stages; ++i) ports *= q.k;
+  tuple.set("ports", ports);
+  tuple.set("rho", sim_config(q, 0).rho());
+  tuple.set("flow", q.flow);
+  if (q.flow == "credit")
+    tuple.set("credit_latency", static_cast<std::int64_t>(q.credit_latency));
+  tuple.set("cycles", static_cast<std::int64_t>(q.cycles));
+  tuple.set("warmup", static_cast<std::int64_t>(q.warmup));
+  tuple.set("replicates", static_cast<std::int64_t>(q.replicates));
+  tuple.set("seed", static_cast<std::int64_t>(q.seed));
+  return tuple;
+}
+
+io::Json eval_finite_buffer(const Query& q) {
+  io::Json result = sim_tuple(q);
+  const io::Json point = sim_point(q, q.depth);
+  for (const auto& key : point.keys()) result.set(key, point.at(key));
+  return result;
+}
+
+io::Json eval_buffer_sweep(const Query& q) {
+  io::Json result = sim_tuple(q);
+  io::Json grid = io::Json::array();
+  for (const unsigned depth : q.depths) grid.push_back(sim_point(q, depth));
+  result.set("grid", std::move(grid));
+  // Infinite-queue baseline: what the depth grid should converge to.
+  io::Json inf = sim_point(q, 0);
+  io::Json baseline = io::Json::object();
+  baseline.set("mean_wait_first", inf.at("mean_wait_first"));
+  baseline.set("mean_wait_last", inf.at("mean_wait_last"));
+  baseline.set("mean_wait_total", inf.at("mean_wait_total"));
+  baseline.set("throughput", inf.at("throughput"));
+  result.set("infinite", std::move(baseline));
+  return result;
+}
+
 }  // namespace
 
 io::Json evaluate(const Query& query) {
@@ -133,6 +251,10 @@ io::Json evaluate(const Query& query) {
       return eval_closed_form(query);
     case Kernel::kTotalDelay:
       return eval_total_delay(query);
+    case Kernel::kFiniteBuffer:
+      return eval_finite_buffer(query);
+    case Kernel::kBufferSweep:
+      return eval_buffer_sweep(query);
   }
   throw ksw::usage_error("kernel: unknown");
 }

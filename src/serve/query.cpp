@@ -77,8 +77,46 @@ Kernel parse_kernel(const std::string& name) {
   if (name == "later_stages") return Kernel::kLaterStages;
   if (name == "closed_form") return Kernel::kClosedForm;
   if (name == "total_delay") return Kernel::kTotalDelay;
+  if (name == "finite_buffer") return Kernel::kFiniteBuffer;
+  if (name == "buffer_sweep") return Kernel::kBufferSweep;
   bad_request("kernel: expected first_stage|later_stages|closed_form|"
-              "total_delay, got \"" + name + "\"");
+              "total_delay|finite_buffer|buffer_sweep, got \"" + name +
+              "\"");
+}
+
+/// Shared validation of the finite_buffer/buffer_sweep simulation tuple
+/// (everything except depth/depths). Simulation kernels are the only
+/// ones whose cost scales with the tuple, so hard caps live here.
+void parse_sim_tuple(Query& query, const io::Json& params) {
+  query.stages = read_unsigned(params, "stages", 3, 1);
+  if (query.k < 2) bad_request("params.k: simulation kernels need k >= 2");
+  // ports = k^stages, capped at 4096 (overflow-safe: stop early).
+  std::uint64_t ports = 1;
+  for (unsigned i = 0; i < query.stages; ++i) {
+    ports *= query.k;
+    if (ports > 4096)
+      bad_request("params.stages: k^stages must stay <= 4096 ports");
+  }
+  query.flow = read_string(params, "flow", "vct");
+  if (query.flow != "vct" && query.flow != "saf" && query.flow != "credit")
+    bad_request("params.flow: expected vct|saf|credit");
+  if (query.flow == "credit") {
+    query.credit_latency = read_unsigned(params, "credit_latency", 2, 1);
+    if (query.credit_latency > 1024)
+      bad_request("params.credit_latency: at most 1024 cycles");
+  } else if (params.contains("credit_latency")) {
+    bad_request("params.credit_latency: only meaningful with flow=credit");
+  }
+  query.cycles = read_unsigned(params, "cycles", 20'000, 1);
+  if (query.cycles > 200'000)
+    bad_request("params.cycles: at most 200000 measured cycles");
+  query.warmup = read_unsigned(params, "warmup", 2'000);
+  if (query.warmup > 200'000)
+    bad_request("params.warmup: at most 200000 warmup cycles");
+  query.replicates = read_unsigned(params, "replicates", 1, 1);
+  if (query.replicates > 8)
+    bad_request("params.replicates: at most 8 replicates");
+  query.seed = read_unsigned(params, "seed", 1);
 }
 
 Query parse_query(Kernel kernel, const io::Json& params) {
@@ -143,6 +181,44 @@ Query parse_query(Kernel kernel, const io::Json& params) {
       }
       break;
     }
+    case Kernel::kFiniteBuffer:
+      check_keys(params, {"k", "p", "bulk", "q", "service", "stages",
+                          "depth", "flow", "credit_latency", "cycles",
+                          "warmup", "replicates", "seed"});
+      traffic(/*with_s=*/false);
+      parse_sim_tuple(query, params);
+      query.depth = read_unsigned(params, "depth", 4, 1);
+      if (query.depth > 1024)
+        bad_request("params.depth: at most 1024 slots per queue");
+      break;
+    case Kernel::kBufferSweep: {
+      check_keys(params, {"k", "p", "bulk", "q", "service", "stages",
+                          "depths", "flow", "credit_latency", "cycles",
+                          "warmup", "replicates", "seed"});
+      traffic(/*with_s=*/false);
+      parse_sim_tuple(query, params);
+      if (!params.contains("depths"))
+        bad_request("params.depths: required for buffer_sweep");
+      const io::Json& ds = params.at("depths");
+      if (!ds.is_array() || ds.size() == 0)
+        bad_request("params.depths: expected a non-empty array");
+      if (ds.size() > 16) bad_request("params.depths: at most 16 depths");
+      for (std::size_t i = 0; i < ds.size(); ++i) {
+        std::int64_t v = 0;
+        try {
+          v = ds.at(i).as_int();
+        } catch (const std::invalid_argument&) {
+          bad_request("params.depths: expected integers");
+        }
+        if (v < 1 || v > 1024)
+          bad_request("params.depths: depths must lie in [1, 1024]");
+        if (!query.depths.empty() &&
+            static_cast<unsigned>(v) <= query.depths.back())
+          bad_request("params.depths: must be strictly ascending");
+        query.depths.push_back(static_cast<unsigned>(v));
+      }
+      break;
+    }
     case Kernel::kClosedForm: {
       query.family = read_string(params, "family", "");
       if (query.family == "uniform") {
@@ -189,6 +265,10 @@ const char* kernel_name(Kernel kernel) noexcept {
       return "closed_form";
     case Kernel::kTotalDelay:
       return "total_delay";
+    case Kernel::kFiniteBuffer:
+      return "finite_buffer";
+    case Kernel::kBufferSweep:
+      return "buffer_sweep";
   }
   return "?";
 }
@@ -214,6 +294,27 @@ std::string Query::canonical() const {
       for (std::size_t i = 0; i < quantiles.size(); ++i)
         os << (i ? "," : "") << hexfloat(quantiles[i]);
       os << "],\"service\":\"" << service << "\",\"stages\":" << stages;
+      break;
+    }
+    case Kernel::kFiniteBuffer:
+      os << "\"bulk\":" << bulk << ",\"credit_latency\":" << credit_latency
+         << ",\"cycles\":" << cycles << ",\"depth\":" << depth
+         << ",\"flow\":\"" << flow << "\",\"k\":" << k
+         << ",\"p\":" << hexfloat(p) << ",\"q\":" << hexfloat(q)
+         << ",\"replicates\":" << replicates << ",\"seed\":" << seed
+         << ",\"service\":\"" << service << "\",\"stages\":" << stages
+         << ",\"warmup\":" << warmup;
+      break;
+    case Kernel::kBufferSweep: {
+      os << "\"bulk\":" << bulk << ",\"credit_latency\":" << credit_latency
+         << ",\"cycles\":" << cycles << ",\"depths\":[";
+      for (std::size_t i = 0; i < depths.size(); ++i)
+        os << (i ? "," : "") << depths[i];
+      os << "],\"flow\":\"" << flow << "\",\"k\":" << k
+         << ",\"p\":" << hexfloat(p) << ",\"q\":" << hexfloat(q)
+         << ",\"replicates\":" << replicates << ",\"seed\":" << seed
+         << ",\"service\":\"" << service << "\",\"stages\":" << stages
+         << ",\"warmup\":" << warmup;
       break;
     }
     case Kernel::kClosedForm:
@@ -270,7 +371,10 @@ Request Request::parse(const std::string& line,
     if (doc.contains("deadline_ms")) {
       const std::int64_t ms = doc.at("deadline_ms").as_int();
       if (ms < 0) bad_request("deadline_ms: expected a non-negative integer");
-      req.deadline_ms = ms;
+      // Only a positive value overrides the server-wide --deadline-ms
+      // budget. An explicit 0 means "no per-request override" — it must
+      // not turn the request immortal when the server set a default.
+      if (ms > 0) req.deadline_ms = ms;
     }
   } catch (const ksw::Error& e) {
     req.error_kind = wire::kUsage;

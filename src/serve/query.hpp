@@ -1,8 +1,9 @@
 // The ksw.query/v1 wire model: one analytic request per JSONL line.
 //
-// A request names an analytic kernel (first_stage, later_stages,
-// closed_form, total_delay) plus its parameter tuple. Kruskal-Snir-Weiss
-// evaluations are pure functions of that tuple, so every request has a
+// A request names a kernel (first_stage, later_stages, closed_form,
+// total_delay, finite_buffer, buffer_sweep) plus its parameter tuple.
+// Kruskal-Snir-Weiss evaluations — analytic formulas and seeded
+// simulations alike — are pure functions of that tuple, so every request has a
 // *canonical form* — defaults filled in, keys in fixed order, doubles in
 // hexfloat — which is what the evaluation cache hashes (FNV-1a) and
 // compares. Two requests that differ only in spelling ({"p":0.5} vs
@@ -22,12 +23,19 @@
 
 namespace ksw::serve {
 
-/// The analytic kernels a request can name.
+/// The kernels a request can name. The first four are analytic
+/// (closed-form, instant); the finite-buffer pair run the cycle-accurate
+/// network simulation, which is still a pure function of the tuple (seeds
+/// are part of it) so caching stays sound — but cost scales with
+/// ports x cycles x replicates, hence the hard caps enforced at parse
+/// time (ports <= 4096, cycles <= 200000, replicates <= 8, depths <= 16).
 enum class Kernel {
-  kFirstStage,   ///< Theorem 1: exact first-stage moments + distribution
-  kLaterStages,  ///< Section IV: eq. 11-14 stage estimates
-  kClosedForm,   ///< Section III printed closed forms, by family
-  kTotalDelay,   ///< Section V: totals + gamma approximation
+  kFirstStage,    ///< Theorem 1: exact first-stage moments + distribution
+  kLaterStages,   ///< Section IV: eq. 11-14 stage estimates
+  kClosedForm,    ///< Section III printed closed forms, by family
+  kTotalDelay,    ///< Section V: totals + gamma approximation
+  kFiniteBuffer,  ///< simulated finite-buffer network at one depth
+  kBufferSweep,   ///< finite_buffer over a depth grid + infinite baseline
 };
 
 [[nodiscard]] const char* kernel_name(Kernel kernel) noexcept;
@@ -69,6 +77,19 @@ struct Query {
   double mu = 0.5;     ///< closed_form geometric service parameter
   unsigned m = 1;      ///< closed_form deterministic service time
 
+  // finite_buffer / buffer_sweep simulation tuple. `stages` above is
+  // shared (these kernels default it to 3). credit_latency is normalized
+  // to 0 at parse time unless flow == "credit", so requests that differ
+  // only in an inert credit_latency share a cache entry.
+  unsigned depth = 4;            ///< finite_buffer: buffer slots per queue
+  std::vector<unsigned> depths;  ///< buffer_sweep: ascending depth grid
+  std::string flow = "vct";      ///< vct | saf | credit
+  unsigned credit_latency = 0;   ///< credit only: return latency (cycles)
+  unsigned cycles = 20'000;      ///< measured cycles per replicate
+  unsigned warmup = 2'000;       ///< warmup cycles per replicate
+  unsigned replicates = 1;       ///< independent replicates, merged
+  unsigned seed = 1;             ///< base seed (replicate i derives from it)
+
   /// Canonical request string — the cache identity. Pure function of the
   /// parsed tuple: fixed key order, defaults materialized, doubles as
   /// hexfloats, the service spec verbatim.
@@ -85,7 +106,11 @@ struct Request {
   /// observability (--access-log / --trace-out) is on.
   std::string trace_id;
   Query query;
-  std::int64_t deadline_ms = 0;  ///< 0 = no deadline
+  /// Effective deadline after merging the request with the server default:
+  /// a positive request value wins, otherwise the server's --deadline-ms
+  /// applies (an explicit "deadline_ms": 0 does NOT override it). 0 here
+  /// means no deadline at all.
+  std::int64_t deadline_ms = 0;
   std::chrono::steady_clock::time_point arrival{};
 
   std::string error_kind;  ///< one of wire::*, or empty

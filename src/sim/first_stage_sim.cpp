@@ -31,6 +31,13 @@ FirstStageResults run_first_stage(const FirstStageConfig& cfg) {
     throw std::invalid_argument("run_first_stage: q outside [0,1]");
   if (cfg.bulk == 0)
     throw std::invalid_argument("run_first_stage: bulk == 0");
+  if (!(cfg.hotspot >= 0.0 && cfg.hotspot <= 1.0))
+    throw std::invalid_argument("run_first_stage: hotspot outside [0,1]");
+  // Range-checked on every construction path, even when hotspot == 0 —
+  // mirrors validate_hotspot_target in the network engine.
+  if (cfg.hotspot_target >= cfg.s)
+    throw std::invalid_argument(
+        "run_first_stage: hotspot_target must name an output < s");
 
   rng::Xoshiro256 gen(cfg.seed);
   QueuePool<Waiting> queues(cfg.s);
@@ -45,8 +52,13 @@ FirstStageResults run_first_stage(const FirstStageConfig& cfg) {
     // are the input's favorite output with probability q, else uniform.
     for (unsigned input = 0; input < cfg.k; ++input) {
       if (!gen.bernoulli(cfg.p)) continue;
+      // Hotspot draw first, then the favorite-output draw; both guards
+      // short-circuit so a config with hotspot == 0 (resp. q == 0) makes
+      // exactly the same RNG draws as before the feature existed.
       const unsigned dest =
-          (cfg.q > 0.0 && gen.bernoulli(cfg.q))
+          (cfg.hotspot > 0.0 && gen.bernoulli(cfg.hotspot))
+              ? static_cast<unsigned>(cfg.hotspot_target)
+          : (cfg.q > 0.0 && gen.bernoulli(cfg.q))
               ? input % cfg.s
               : static_cast<unsigned>(gen.uniform_int(cfg.s));
       for (unsigned pkt = 0; pkt < cfg.bulk; ++pkt)

@@ -24,6 +24,12 @@ struct FirstStageConfig {
   /// probability q, uniformly otherwise (paper III-A-3, meaningful when
   /// k == s).
   double q = 0.0;
+  /// Hot-spot extension, mirroring NetworkConfig: with this probability a
+  /// batch targets `hotspot_target` regardless of q. hotspot_target must
+  /// name a valid output (< s) on every construction path; the check runs
+  /// even when hotspot == 0, like the network's validate_hotspot_target.
+  double hotspot = 0.0;
+  std::uint32_t hotspot_target = 0;
   ServiceSpec service = ServiceSpec::deterministic(1);
   std::int64_t warmup_cycles = 5'000;
   std::int64_t measure_cycles = 100'000;

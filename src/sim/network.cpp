@@ -114,8 +114,11 @@ NetworkResults run_network(const NetworkConfig& cfg) {
   rng::Xoshiro256 gen(cfg.seed);
 
   // Queue id for (stage s, address a): one flat index into the pool and
-  // every per-queue side array.
-  QueuePool<Packet> pool(static_cast<std::size_t>(n) * ports);
+  // every per-queue side array. Finite-buffer runs freeze the pool at the
+  // buffer depth: admission bounds occupancy, so the rings never grow.
+  const bool finite = cfg.buffer_capacity > 0;
+  QueuePool<Packet> pool(static_cast<std::size_t>(n) * ports,
+                         finite ? cfg.buffer_capacity : 4, finite);
   const auto qid = [ports](unsigned s, std::uint32_t a) {
     return static_cast<std::size_t>(s) * ports + a;
   };
@@ -138,7 +141,9 @@ NetworkResults run_network(const NetworkConfig& cfg) {
   std::vector<double> corr_scratch(n, 0.0);
   const std::int64_t total_cycles = cfg.warmup_cycles + cfg.measure_cycles;
   constexpr std::int64_t kDepthSampleStride = 64;
-  const bool finite = cfg.buffer_capacity > 0;
+  detail::FlowState flow;
+  flow.init(cfg, n, ports);
+  const bool credit_mode = finite && cfg.flow == FlowControl::kCredit;
 
   detail::ObsState ob;
   ob.init(cfg, n, total_cycles, out);
@@ -152,6 +157,8 @@ NetworkResults run_network(const NetworkConfig& cfg) {
 
   // One simulated cycle; called with strictly increasing t.
   const auto step = [&](const std::int64_t t) {
+    flow.begin_cycle(t);
+
     // --- Injection at the first stage ------------------------------------
     for (std::uint32_t src = 0; src < ports; ++src) {
       if (!gen.bernoulli(cfg.p)) continue;
@@ -195,12 +202,18 @@ NetworkResults run_network(const NetworkConfig& cfg) {
         std::uint32_t next_addr = 0;
         if (s + 1 < n) {
           next_addr = topo.next_queue(s, a, head.dst);
-          // Finite buffers: block upstream service on a full downstream
-          // queue (backpressure).
-          if (finite &&
-              pool.size(qid(s + 1, next_addr)) >= cfg.buffer_capacity) {
-            if (obs_on && t >= cfg.warmup_cycles) ++ob.tally[s].blocked;
-            return;
+          // Finite buffers: block upstream service when the flow-control
+          // scheme denies the transfer (full downstream queue, or no
+          // credit under kCredit).
+          if (finite) {
+            const std::size_t nq = qid(s + 1, next_addr);
+            if (!flow.admit(nq, pool.size(nq))) {
+              if (obs_on && t >= cfg.warmup_cycles) {
+                ++ob.tally[s].blocked;
+                if (credit_mode) ++ob.tally[s].credit_stalls;
+              }
+              return;
+            }
           }
         }
 
@@ -224,12 +237,14 @@ NetworkResults run_network(const NetworkConfig& cfg) {
 
         const std::uint32_t service = head.service;
         if (sample_busy) busy_until[q] = t + service;
+        if (finite) flow.on_service_start(s, q, t);
         if (s + 1 < n) {
           Packet moved = head;
-          moved.arrival = t + 1;
+          moved.arrival = flow.arrival_stamp(t, service);
           pool.pop(q);
           if (pool.empty(q)) sched.clear_occupied(a);
           const std::size_t nq = qid(s + 1, next_addr);
+          if (finite) flow.on_forward(nq);
           pool.push(nq, moved);
           active[s + 1].mark_occupied(next_addr);
           if (obs_on)

@@ -41,6 +41,36 @@ namespace ksw::sim {
 /// correlation collection).
 inline constexpr unsigned kMaxTrackedStages = 16;
 
+/// Flow-control discipline applied when buffer_capacity is finite. The
+/// schemes differ in when a head-of-line packet may leave its queue and
+/// when it becomes eligible downstream (Graphite's flow_control_schemes
+/// are the modeling reference):
+///   * kCutThrough — virtual cut-through: the transfer is admitted when
+///     the downstream queue has a free slot at the attempt, and the packet
+///     is eligible downstream one cycle later (the paper's timing). This
+///     is the historic finite-buffer behavior and the default.
+///   * kStoreAndForward — same occupancy-based admission, but the packet
+///     only becomes eligible downstream after its full service time
+///     (arrival is stamped t + m instead of t + 1), so waiting cannot
+///     overlap the tail of the upstream transmission. Identical to
+///     kCutThrough under det:1 service.
+///   * kCredit — credit-based backpressure: each upstream holds one credit
+///     per downstream slot, a transfer consumes a credit, and the credit
+///     returns credit_latency cycles after the downstream queue starts a
+///     service. More conservative than cut-through (in-flight returns are
+///     invisible), so it blocks earlier at the same depth.
+enum class FlowControl {
+  kCutThrough,
+  kStoreAndForward,
+  kCredit,
+};
+
+/// Canonical scheme names: "vct", "saf", "credit".
+[[nodiscard]] const char* to_string(FlowControl flow) noexcept;
+
+/// Parse a canonical scheme name; throws std::invalid_argument otherwise.
+[[nodiscard]] FlowControl parse_flow_control(const std::string& name);
+
 /// Telemetry knobs for run_network. Everything here is additive: results
 /// used by the paper-reproduction paths are untouched whether or not
 /// telemetry is on, and the whole block is dead code when observability
@@ -86,9 +116,20 @@ struct NetworkConfig {
   /// most this many waiting packets: interior transfers block the upstream
   /// service, and injections at full first-stage queues are dropped.
   /// Occupancy is evaluated at the moment a transfer is attempted and
-  /// counts in-flight cut-through packets — a one-cycle-granularity
-  /// approximation of real switch flow control.
+  /// counts in-flight packets — a one-cycle-granularity approximation of
+  /// real switch flow control.
   unsigned buffer_capacity = 0;
+
+  /// Flow-control scheme for finite buffers. Schemes other than the
+  /// default cut-through require buffer_capacity > 0 (they are meaningless
+  /// without backpressure), so every infinite-queue config is untouched.
+  FlowControl flow = FlowControl::kCutThrough;
+
+  /// kCredit only: cycles between a downstream service start and the
+  /// credit becoming visible upstream again. Must be >= 1; at 1 the
+  /// return is as prompt as the cycle model allows, larger values model
+  /// slower reverse links and stall upstreams earlier.
+  unsigned credit_latency = 2;
 
   /// Collect the stage-by-stage waiting covariance matrix (Table VI).
   /// Requires stages <= kMaxTrackedStages.

@@ -4,7 +4,51 @@
 #include <cstdio>
 #include <stdexcept>
 
+namespace ksw::sim {
+
+const char* to_string(FlowControl flow) noexcept {
+  switch (flow) {
+    case FlowControl::kCutThrough:
+      return "vct";
+    case FlowControl::kStoreAndForward:
+      return "saf";
+    case FlowControl::kCredit:
+      return "credit";
+  }
+  return "?";
+}
+
+FlowControl parse_flow_control(const std::string& name) {
+  if (name == "vct") return FlowControl::kCutThrough;
+  if (name == "saf") return FlowControl::kStoreAndForward;
+  if (name == "credit") return FlowControl::kCredit;
+  throw std::invalid_argument("flow control: expected vct|saf|credit, got \"" +
+                              name + "\"");
+}
+
+}  // namespace ksw::sim
+
 namespace ksw::sim::detail {
+
+void FlowState::init(const NetworkConfig& cfg, unsigned stages,
+                     std::uint32_t ports) {
+  scheme = cfg.flow;
+  capacity = cfg.buffer_capacity;
+  latency = cfg.credit_latency;
+  if (capacity == 0 || scheme != FlowControl::kCredit) return;
+  credits_.assign(static_cast<std::size_t>(stages) * ports, capacity);
+  // Ring of latency + 1 buckets: a return scheduled at t for t + latency is
+  // drained before cycle t + latency schedules anything new into its slot.
+  pending_.assign(latency + 1, {});
+}
+
+void FlowState::begin_cycle(std::int64_t t) {
+  if (pending_.empty()) return;
+  auto& bucket = pending_[static_cast<std::size_t>(
+      t % static_cast<std::int64_t>(pending_.size()))];
+  for (const std::uint32_t q : bucket) ++credits_[q];
+  bucket.clear();
+}
 
 void validate(const NetworkConfig& cfg) {
   if (cfg.k < 2) throw std::invalid_argument("run_network: k must be >= 2");
@@ -28,6 +72,13 @@ void validate(const NetworkConfig& cfg) {
   if (cfg.obs.enabled && cfg.obs.occupancy_buckets == 0)
     throw std::invalid_argument(
         "run_network: obs.occupancy_buckets must be >= 1");
+  if (cfg.flow != FlowControl::kCutThrough && cfg.buffer_capacity == 0)
+    throw std::invalid_argument(
+        std::string("run_network: flow control \"") + to_string(cfg.flow) +
+        "\" requires a finite buffer_capacity");
+  if (cfg.flow == FlowControl::kCredit && cfg.credit_latency == 0)
+    throw std::invalid_argument(
+        "run_network: credit_latency must be >= 1");
 }
 
 void validate_hotspot_target(const NetworkConfig& cfg, std::uint32_t ports) {
@@ -63,6 +114,12 @@ void ObsState::init(const NetworkConfig& cfg, unsigned n,
           &out.metrics.counter(stage_metric(label, "busy_samples"));
       sobs[s].blocked =
           &out.metrics.counter(stage_metric(label, "blocked_transfers"));
+      // Credit stalls are a kCredit-only breakdown of blocked_transfers;
+      // registering the counter conditionally keeps every other run's
+      // report byte-identical to what it was before credits existed.
+      if (cfg.flow == FlowControl::kCredit)
+        sobs[s].credit_stalls =
+            &out.metrics.counter(stage_metric(label, "credit_stalls"));
     }
     dropped0 = &out.metrics.counter(stage_metric(1, "dropped"));
   }
@@ -97,6 +154,8 @@ void ObsState::flush(std::int64_t warmup_end, std::int64_t total_cycles,
     sobs[s].idle->inc(tally[s].idle);
     sobs[s].busy->inc(tally[s].busy);
     sobs[s].blocked->inc(tally[s].blocked);
+    if (sobs[s].credit_stalls != nullptr)
+      sobs[s].credit_stalls->inc(tally[s].credit_stalls);
     sobs[s].peak->record_max(static_cast<double>(tally[s].peak));
   }
   // Drops only ever happen at first-stage injection, so the per-stage

@@ -28,6 +28,68 @@ void validate_hotspot_target(const NetworkConfig& cfg, std::uint32_t ports);
 /// registry's name order matches stage order.
 std::string stage_metric(unsigned stage, const char* what);
 
+/// Flow-control bookkeeping shared verbatim by both engines, so the
+/// admission rule, the downstream arrival stamp, and the credit ledger
+/// cannot drift between them. All methods are no-ops for infinite queues;
+/// credit state is only allocated under FlowControl::kCredit.
+///
+/// Credit ledger: one counter per queue, initialized to buffer_capacity.
+/// A forward into queue q consumes credits_[q]; a service start at q
+/// (stage >= 1 — first-stage queues are filled by injection, which uses
+/// occupancy directly) schedules a +1 for cycle t + credit_latency. The
+/// returns ride a small ring of per-cycle buckets drained by begin_cycle.
+struct FlowState {
+  FlowControl scheme = FlowControl::kCutThrough;
+  unsigned capacity = 0;  ///< 0 = infinite (every check passes)
+  unsigned latency = 0;
+
+  void init(const NetworkConfig& cfg, unsigned stages, std::uint32_t ports);
+
+  /// Apply credit returns scheduled for cycle t. Call first thing each
+  /// cycle, before injection and service.
+  void begin_cycle(std::int64_t t);
+
+  /// May a packet be forwarded into queue next_q, whose current occupancy
+  /// (in-flight packets included) is next_size? Call only when finite.
+  [[nodiscard]] bool admit(std::size_t next_q, std::size_t next_size) const {
+    if (scheme == FlowControl::kCredit) return credits_[next_q] > 0;
+    return next_size < capacity;
+  }
+
+  /// Account a forward into next_q (after admit() said yes).
+  void on_forward(std::size_t next_q) {
+    if (!credits_.empty()) --credits_[next_q];
+  }
+
+  /// Account a service start (dequeue) at queue q of the given stage:
+  /// under kCredit this schedules the credit return.
+  void on_service_start(unsigned stage, std::size_t q, std::int64_t t) {
+    if (credits_.empty() || stage == 0) return;
+    auto& bucket =
+        pending_[static_cast<std::size_t>((t + latency) %
+                                          static_cast<std::int64_t>(
+                                              pending_.size()))];
+    bucket.push_back(static_cast<std::uint32_t>(q));
+  }
+
+  /// Cycle at which a packet forwarded at t becomes eligible downstream.
+  [[nodiscard]] std::int64_t arrival_stamp(std::int64_t t,
+                                           std::uint32_t service) const {
+    return scheme == FlowControl::kStoreAndForward
+               ? t + static_cast<std::int64_t>(service)
+               : t + 1;
+  }
+
+  /// Current credits for queue q (testing/telemetry; kCredit only).
+  [[nodiscard]] std::uint32_t credits(std::size_t q) const {
+    return credits_[q];
+  }
+
+ private:
+  std::vector<std::uint32_t> credits_;
+  std::vector<std::vector<std::uint32_t>> pending_;
+};
+
 /// Cached per-stage metric handles so the hot loop never touches the
 /// registry's map.
 struct StageObs {
@@ -37,6 +99,7 @@ struct StageObs {
   obs::Counter* idle = nullptr;
   obs::Counter* busy = nullptr;
   obs::Counter* blocked = nullptr;
+  obs::Counter* credit_stalls = nullptr;  ///< kCredit runs only
 };
 
 /// Per-stage event tallies kept in plain (non-atomic) locals during the
@@ -48,6 +111,7 @@ struct StageTally {
   std::uint64_t idle = 0;
   std::uint64_t busy = 0;
   std::uint64_t blocked = 0;
+  std::uint64_t credit_stalls = 0;
   std::size_t peak = 0;
 };
 

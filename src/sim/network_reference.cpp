@@ -63,6 +63,12 @@ NetworkResults run_network_reference(const NetworkConfig& cfg) {
   const std::int64_t total_cycles = cfg.warmup_cycles + cfg.measure_cycles;
   constexpr std::int64_t kDepthSampleStride = 64;
   const bool finite = cfg.buffer_capacity > 0;
+  detail::FlowState flow;
+  flow.init(cfg, n, ports);
+  const bool credit_mode = finite && cfg.flow == FlowControl::kCredit;
+  const auto qid = [ports](unsigned s, std::uint32_t a) {
+    return static_cast<std::size_t>(s) * ports + a;
+  };
 
   detail::ObsState ob;
   ob.init(cfg, n, total_cycles, out);
@@ -70,6 +76,8 @@ NetworkResults run_network_reference(const NetworkConfig& cfg) {
 
   // One simulated cycle; called with strictly increasing t.
   const auto step = [&](const std::int64_t t) {
+    flow.begin_cycle(t);
+
     // --- Injection at the first stage ------------------------------------
     for (std::uint32_t src = 0; src < ports; ++src) {
       if (!gen.bernoulli(cfg.p)) continue;
@@ -113,11 +121,15 @@ NetworkResults run_network_reference(const NetworkConfig& cfg) {
         std::uint32_t next_addr = 0;
         if (s + 1 < n) {
           next_addr = topo.next_queue(s, a, head.dst);
-          // Finite buffers: block upstream service on a full downstream
-          // queue (backpressure).
-          if (finite &&
-              queues[s + 1][next_addr].size() >= cfg.buffer_capacity) {
-            if (obs_on && t >= cfg.warmup_cycles) ++ob.tally[s].blocked;
+          // Finite buffers: block upstream service when the flow-control
+          // scheme denies the transfer (full downstream queue, or no
+          // credit under kCredit).
+          if (finite && !flow.admit(qid(s + 1, next_addr),
+                                    queues[s + 1][next_addr].size())) {
+            if (obs_on && t >= cfg.warmup_cycles) {
+              ++ob.tally[s].blocked;
+              if (credit_mode) ++ob.tally[s].credit_stalls;
+            }
             continue;
           }
         }
@@ -141,10 +153,12 @@ NetworkResults run_network_reference(const NetworkConfig& cfg) {
         }
 
         stage_busy[a] = t + head.service;
+        if (finite) flow.on_service_start(s, qid(s, a), t);
         if (s + 1 < n) {
           Packet moved = head;
-          moved.arrival = t + 1;
+          moved.arrival = flow.arrival_stamp(t, head.service);
           queue.pop();
+          if (finite) flow.on_forward(qid(s + 1, next_addr));
           queues[s + 1][next_addr].push(moved);
           if (obs_on)
             ob.tally[s + 1].peak = std::max(

@@ -13,11 +13,19 @@
 // the arena (freed only with the pool); geometric doubling bounds the
 // abandoned space by the total live capacity, which is the usual arena
 // trade of memory for zero free-list work.
+//
+// Fixed-capacity mode (finite-buffer simulations): when the caller
+// guarantees an occupancy bound — the flow-control admission check runs
+// before every push — the pool can be frozen at construction. Rings never
+// move, the arena never grows, and an overflowing push throws instead of
+// silently doubling, turning a flow-control bug into a loud invariant
+// failure.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 namespace ksw::sim {
@@ -28,8 +36,10 @@ namespace ksw::sim {
 template <typename T>
 class QueuePool {
  public:
-  explicit QueuePool(std::size_t queues, std::size_t initial_capacity = 4)
-      : head_(queues, 0), size_(queues, 0), mask_(queues, 0), data_(queues) {
+  explicit QueuePool(std::size_t queues, std::size_t initial_capacity = 4,
+                     bool fixed = false)
+      : fixed_(fixed), head_(queues, 0), size_(queues, 0), mask_(queues, 0),
+        data_(queues) {
     std::size_t cap = 2;
     while (cap < initial_capacity) cap *= 2;
     if (queues == 0) return;
@@ -80,6 +90,10 @@ class QueuePool {
 
  private:
   void grow(std::size_t q) {
+    if (fixed_)
+      throw std::logic_error(
+          "QueuePool: push beyond fixed capacity (flow-control admission "
+          "failed to bound queue occupancy)");
     const std::size_t old_cap = capacity(q);
     const std::size_t new_cap = old_cap * 2;
     T* fresh = allocate(new_cap);
@@ -105,6 +119,7 @@ class QueuePool {
 
   static constexpr std::size_t kChunkElems = std::size_t{1} << 16;
 
+  bool fixed_ = false;
   std::vector<std::uint32_t> head_;
   std::vector<std::uint32_t> size_;
   std::vector<std::uint32_t> mask_;

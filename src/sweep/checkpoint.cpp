@@ -70,6 +70,8 @@ io::Json point_to_json(const Point& p) {
   j.set("p", encode_double(p.p));
   j.set("bulk", static_cast<std::int64_t>(p.bulk));
   j.set("q", encode_double(p.q));
+  j.set("hotspot", encode_double(p.hotspot));
+  j.set("hotspot_target", static_cast<std::int64_t>(p.hotspot_target));
   j.set("service", p.service);
   return j;
 }
@@ -81,6 +83,12 @@ Point point_from_json(const io::Json& j) {
   p.p = decode_double(j.at("p"), "p");
   p.bulk = static_cast<unsigned>(j.at("bulk").as_int());
   p.q = decode_double(j.at("q"), "q");
+  // Journals written before the hotspot fields existed omit them; the
+  // defaults (no hotspot) are exactly what those runs simulated.
+  if (j.contains("hotspot")) p.hotspot = decode_double(j.at("hotspot"), "hotspot");
+  if (j.contains("hotspot_target"))
+    p.hotspot_target =
+        static_cast<std::uint32_t>(j.at("hotspot_target").as_int());
   p.service = j.at("service").as_string();
   return p;
 }

@@ -18,6 +18,8 @@ const char* to_string(SectionKind kind) {
       return "stage_convergence";
     case SectionKind::kTotalDelay:
       return "total_delay";
+    case SectionKind::kFiniteBuffer:
+      return "finite_buffer";
   }
   return "?";
 }
@@ -29,6 +31,8 @@ std::string Point::label() const {
   os << " p=" << p;
   if (bulk != 1) os << " b=" << bulk;
   if (q != 0.0) os << " q=" << q;
+  if (hotspot != 0.0)
+    os << " hot=" << hotspot << "@" << hotspot_target;
   if (service != "det:1") os << " " << service;
   return os.str();
 }
@@ -55,8 +59,10 @@ SectionKind parse_kind(const std::string& text, const std::string& where) {
   if (text == "first_stage") return SectionKind::kFirstStage;
   if (text == "stage_convergence") return SectionKind::kStageConvergence;
   if (text == "total_delay") return SectionKind::kTotalDelay;
+  if (text == "finite_buffer") return SectionKind::kFiniteBuffer;
   fail(where, "unknown kind \"" + text +
-                  "\" (expected first_stage|stage_convergence|total_delay)");
+                  "\" (expected first_stage|stage_convergence|total_delay|"
+                  "finite_buffer)");
 }
 
 /// Merge budget/tolerance keys present in `obj` onto `budget`/`tol`.
@@ -126,6 +132,14 @@ void apply_param(Point* point, const std::string& key, const io::Json& value,
     point->q = value.as_double();
     if (!(point->q >= 0.0 && point->q < 1.0))
       fail(where, "q must be in [0,1)");
+  } else if (key == "hotspot") {
+    point->hotspot = value.as_double();
+    if (!(point->hotspot >= 0.0 && point->hotspot < 1.0))
+      fail(where, "hotspot must be in [0,1)");
+  } else if (key == "hotspot_target") {
+    const std::int64_t v = value.as_int();
+    if (v < 0) fail(where, "hotspot_target must be >= 0");
+    point->hotspot_target = static_cast<std::uint32_t>(v);
   } else if (key == "service") {
     point->service = value.as_string();
     try {
@@ -135,7 +149,8 @@ void apply_param(Point* point, const std::string& key, const io::Json& value,
     }
   } else {
     fail(where, "unknown parameter \"" + key +
-                    "\" (expected k, s, p, bulk, q, or service)");
+                    "\" (expected k, s, p, bulk, q, hotspot, "
+                    "hotspot_target, or service)");
   }
 }
 
@@ -200,7 +215,8 @@ Section parse_section(const io::Json& doc, const Manifest& manifest,
       "id",          "title",        "notes",          "kind",
       "stages",      "checkpoints",  "grid",           "replicates",
       "measure_cycles", "warmup_cycles", "seed",       "ci_level",
-      "mean_rel_tol", "var_rel_tol", "abs_tol"};
+      "mean_rel_tol", "var_rel_tol", "abs_tol",        "depths",
+      "flow",        "credit_latency"};
   check_keys(doc, keys, where);
 
   Section section;
@@ -241,6 +257,43 @@ Section parse_section(const io::Json& doc, const Manifest& manifest,
       fail(where, "checkpoint beyond the last stage");
   }
 
+  if (doc.contains("depths")) {
+    const io::Json& ds = doc.at("depths");
+    if (!ds.is_array() || ds.size() == 0)
+      fail(where, "depths must be a non-empty array");
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      const std::int64_t d = ds.at(i).as_int();
+      if (d < 1) fail(where, "depths must be >= 1");
+      if (!section.depths.empty() &&
+          static_cast<unsigned>(d) <= section.depths.back())
+        fail(where, "depths must be strictly increasing");
+      section.depths.push_back(static_cast<unsigned>(d));
+    }
+  }
+  if (doc.contains("flow")) {
+    section.flow = doc.at("flow").as_string();
+    if (section.flow != "vct" && section.flow != "saf" &&
+        section.flow != "credit")
+      fail(where, "flow must be vct, saf, or credit");
+  }
+  if (doc.contains("credit_latency")) {
+    const std::int64_t lat = doc.at("credit_latency").as_int();
+    if (lat < 1) fail(where, "credit_latency must be >= 1");
+    section.credit_latency = static_cast<unsigned>(lat);
+    if (section.flow != "credit")
+      fail(where, "credit_latency is only meaningful with flow=credit");
+  }
+  if (section.kind == SectionKind::kFiniteBuffer) {
+    if (section.depths.empty())
+      fail(where, "finite_buffer sections require \"depths\"");
+    if (!section.checkpoints.empty())
+      fail(where, "finite_buffer sections take no \"checkpoints\"");
+  } else if (!section.depths.empty() || doc.contains("flow") ||
+             doc.contains("credit_latency")) {
+    fail(where,
+         "depths/flow/credit_latency only apply to finite_buffer sections");
+  }
+
   if (!doc.contains("grid")) fail(where, "missing \"grid\"");
   section.points = parse_grid(doc.at("grid"), where + ".grid");
 
@@ -252,6 +305,23 @@ Section parse_section(const io::Json& doc, const Manifest& manifest,
     if (pt.q > 0.0 && pt.s != 0 && pt.s != pt.k)
       fail(where, "favorite-output traffic requires s == k (point " +
                       pt.label() + ")");
+    if (pt.hotspot > 0.0 && section.kind != SectionKind::kFiniteBuffer)
+      fail(where, "hotspot traffic is only supported in finite_buffer "
+                  "sections (point " + pt.label() + ")");
+    if (network) {
+      // hotspot_target names a destination port; the grid knows k and the
+      // section knows stages, so the range check runs at parse time on
+      // every point — even those with hotspot == 0.
+      std::uint64_t ports = 1;
+      for (unsigned i = 0; i < section.stages && ports <= 0xffffffffull; ++i)
+        ports *= pt.k;
+      if (pt.hotspot_target >= ports)
+        fail(where, "hotspot_target must name a port < k^stages (point " +
+                        pt.label() + ")");
+    } else if (pt.hotspot_target != 0) {
+      fail(where, "hotspot_target only applies to network sections (point " +
+                      pt.label() + ")");
+    }
   }
   if (section.kind == SectionKind::kTotalDelay && section.checkpoints.empty())
     section.checkpoints = {section.stages};

@@ -32,6 +32,11 @@ enum class SectionKind {
   /// Section V total-waiting mean/variance and gamma-fit quantiles vs the
   /// full-network simulator at stage checkpoints.
   kTotalDelay,
+  /// Finite-buffer flow control vs the infinite-queue model: blocking
+  /// probability (accept ratio) and last-stage waiting across a buffer
+  /// depth grid, gated at the deepest depth where the finite network must
+  /// have converged to the paper's infinite-queue predictions.
+  kFiniteBuffer,
 };
 
 [[nodiscard]] const char* to_string(SectionKind kind);
@@ -69,6 +74,11 @@ struct Point {
   double p = 0.5;
   unsigned bulk = 1;
   double q = 0.0;
+  /// Hot-spot traffic (finite_buffer sections only — the other kinds gate
+  /// against analytic models that assume uniform/favorite traffic). The
+  /// target port is range-checked at parse time against k^stages.
+  double hotspot = 0.0;
+  std::uint32_t hotspot_target = 0;
   std::string service = "det:1";
 
   /// Stable human-readable label ("k=2 p=0.5 service=det:4"), listing only
@@ -85,6 +95,12 @@ struct Section {
   SectionKind kind = SectionKind::kFirstStage;
   unsigned stages = 8;                ///< network sections
   std::vector<unsigned> checkpoints;  ///< total-delay sections (ascending)
+  /// finite_buffer sections: ascending buffer-depth grid (required), the
+  /// flow-control scheme ("vct"|"saf"|"credit"), and the credit return
+  /// latency (credit scheme only).
+  std::vector<unsigned> depths;
+  std::string flow = "vct";
+  unsigned credit_latency = 2;
   RunBudget budget;
   Tolerance tol;
   std::vector<Point> points;  ///< expanded grid, in declaration order

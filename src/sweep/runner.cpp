@@ -174,29 +174,37 @@ struct NetworkRun {
   std::vector<sim::NetworkResults> parts;
 };
 
-NetworkRun run_network_replicates(const Section& section, const Point& pt,
-                                  par::ThreadPool& pool,
-                                  const par::CancelToken* cancel) {
+/// Base NetworkConfig for a grid point; section-kind specifics (buffer
+/// depth, flow scheme, checkpoints) are layered on by the caller.
+sim::NetworkConfig network_config(const Section& section, const Point& pt) {
   sim::NetworkConfig cfg;
   cfg.k = pt.k;
   cfg.stages = section.stages;
   cfg.p = pt.p;
   cfg.bulk = pt.bulk;
   cfg.q = pt.q;
+  cfg.hotspot = pt.hotspot;
+  cfg.hotspot_target = pt.hotspot_target;
   cfg.service = sim::ServiceSpec::parse(pt.service);
   cfg.warmup_cycles = section.budget.effective_warmup();
   cfg.measure_cycles = section.budget.measure_cycles;
   if (section.kind == SectionKind::kTotalDelay)
     cfg.total_checkpoints = section.checkpoints;
+  return cfg;
+}
 
+NetworkRun run_network_replicates(const sim::NetworkConfig& cfg,
+                                  const RunBudget& budget,
+                                  par::ThreadPool& pool,
+                                  const par::CancelToken* cancel) {
   NetworkRun run;
-  run.parts.resize(section.budget.replicates);
+  run.parts.resize(budget.replicates);
   par::parallel_for_chunks(
-      pool, section.budget.replicates,
+      pool, budget.replicates,
       [&](std::size_t i) {
         fault::maybe_fail("replicate.throw");
         sim::NetworkConfig rep = cfg;
-        rep.seed = sim::replicate_seed(section.budget.seed,
+        rep.seed = sim::replicate_seed(budget.seed,
                                        static_cast<unsigned>(i));
         run.parts[i] = sim::run_network(rep);
       },
@@ -211,7 +219,8 @@ PointResult run_stage_convergence_point(const Section& section,
                                         const Point& pt,
                                         par::ThreadPool& pool,
                                         const par::CancelToken* cancel) {
-  const NetworkRun run = run_network_replicates(section, pt, pool, cancel);
+  const NetworkRun run = run_network_replicates(network_config(section, pt),
+                                                section.budget, pool, cancel);
   const core::LaterStages ls(analytic_traffic(pt));
   const double level = section.budget.ci_level;
 
@@ -240,7 +249,8 @@ PointResult run_stage_convergence_point(const Section& section,
 PointResult run_total_delay_point(const Section& section, const Point& pt,
                                   par::ThreadPool& pool,
                                   const par::CancelToken* cancel) {
-  const NetworkRun run = run_network_replicates(section, pt, pool, cancel);
+  const NetworkRun run = run_network_replicates(network_config(section, pt),
+                                                section.budget, pool, cancel);
   const core::LaterStages ls(analytic_traffic(pt));
   const double level = section.budget.ci_level;
 
@@ -278,6 +288,78 @@ PointResult run_total_delay_point(const Section& section, const Point& pt,
   return result;
 }
 
+/// Finite-buffer section: one infinite-queue oracle run plus one finite
+/// run per buffer depth. Two cells per depth —
+///   * "depth=D accept" — fraction of offered packets admitted at the
+///     first stage (analytic target 1.0: deep enough buffers drop
+///     nothing);
+///   * "depth=D E[w last]" — last-stage waiting vs the infinite-queue
+///     oracle *simulation* (not a formula, so hotspot points gate too);
+/// both gated only at the deepest depth, so shallow rows document the
+/// divergence while the gate proves convergence. When the traffic has an
+/// analytic model (hotspot == 0) an extra gated cell pins the oracle
+/// itself against eq. 12.
+PointResult run_finite_buffer_point(const Section& section, const Point& pt,
+                                    par::ThreadPool& pool,
+                                    const par::CancelToken* cancel) {
+  const sim::NetworkConfig base = network_config(section, pt);
+  const NetworkRun oracle =
+      run_network_replicates(base, section.budget, pool, cancel);
+  const double level = section.budget.ci_level;
+  const unsigned last = section.stages - 1;
+
+  PointResult result;
+  result.point = pt;
+  result.label = pt.label();
+  result.samples = oracle.merged.packets_delivered;
+  std::vector<double> samples(oracle.parts.size());
+
+  if (pt.hotspot == 0.0) {
+    const core::LaterStages ls(analytic_traffic(pt));
+    for (std::size_t i = 0; i < oracle.parts.size(); ++i)
+      samples[i] = oracle.parts[i].stage_wait[last].mean();
+    result.cells.push_back(make_cell(
+        "infinite E[w last] (eq. 12)", ls.mean_at_stage(section.stages),
+        oracle.merged.stage_wait[last].mean(), half_width(samples, level),
+        true, true, section.tol));
+  }
+
+  for (std::size_t d = 0; d < section.depths.size(); ++d) {
+    const unsigned depth = section.depths[d];
+    sim::NetworkConfig cfg = base;
+    cfg.buffer_capacity = depth;
+    cfg.flow = sim::parse_flow_control(section.flow);
+    if (cfg.flow == sim::FlowControl::kCredit)
+      cfg.credit_latency = section.credit_latency;
+    const NetworkRun run =
+        run_network_replicates(cfg, section.budget, pool, cancel);
+    const bool gate = d + 1 == section.depths.size();
+    const std::string prefix = "depth=" + std::to_string(depth) + " ";
+
+    const auto accept = [](const sim::NetworkResults& r) {
+      const double offered =
+          static_cast<double>(r.packets_injected + r.packets_dropped);
+      return offered > 0.0
+                 ? static_cast<double>(r.packets_injected) / offered
+                 : 1.0;
+    };
+    for (std::size_t i = 0; i < run.parts.size(); ++i)
+      samples[i] = accept(run.parts[i]);
+    result.cells.push_back(make_cell(prefix + "accept", 1.0,
+                                     accept(run.merged),
+                                     half_width(samples, level), true, gate,
+                                     section.tol));
+
+    for (std::size_t i = 0; i < run.parts.size(); ++i)
+      samples[i] = run.parts[i].stage_wait[last].mean();
+    result.cells.push_back(make_cell(
+        prefix + "E[w last]", oracle.merged.stage_wait[last].mean(),
+        run.merged.stage_wait[last].mean(), half_width(samples, level), true,
+        gate, section.tol));
+  }
+  return result;
+}
+
 PointResult run_point(const Section& section, const Point& pt,
                       par::ThreadPool& pool,
                       const par::CancelToken* cancel) {
@@ -286,6 +368,8 @@ PointResult run_point(const Section& section, const Point& pt,
       return run_stage_convergence_point(section, pt, pool, cancel);
     case SectionKind::kTotalDelay:
       return run_total_delay_point(section, pt, pool, cancel);
+    case SectionKind::kFiniteBuffer:
+      return run_finite_buffer_point(section, pt, pool, cancel);
     case SectionKind::kFirstStage:
       break;
   }

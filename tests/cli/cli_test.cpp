@@ -269,6 +269,36 @@ TEST(Simulate, HotspotSkewsLastStage) {
   EXPECT_EQ(r.code, 0);
 }
 
+TEST(Simulate, RejectsOutOfRangeHotspotTarget) {
+  // 3 stages of 2x2 switches expose ports 0..7; the check fires eagerly
+  // at argument parsing even when --hotspot is 0.
+  const auto r = invoke({"simulate", "--stages=3", "--cycles=1000",
+                         "--hotspot-target=8"});
+  EXPECT_EQ(r.code, 2);  // usage error
+  EXPECT_NE(r.err.find("hotspot-target"), std::string::npos);
+}
+
+TEST(Simulate, FlowControlOptions) {
+  const auto saf = invoke({"simulate", "--stages=3", "--cycles=1500",
+                           "--buffer-capacity=2", "--flow=saf",
+                           "--format=csv"});
+  EXPECT_EQ(saf.code, 0);
+  const auto credit = invoke({"simulate", "--stages=3", "--cycles=1500",
+                              "--buffer-capacity=2", "--flow=credit",
+                              "--credit-latency=3", "--format=csv"});
+  EXPECT_EQ(credit.code, 0);
+  const auto bad = invoke({"simulate", "--flow=wormhole"});
+  EXPECT_EQ(bad.code, 2);  // usage error
+  EXPECT_NE(bad.err.find("vct|saf|credit"), std::string::npos);
+  // Backpressure schemes need a finite buffer to press against.
+  const auto infinite = invoke({"simulate", "--stages=3", "--flow=credit"});
+  EXPECT_EQ(infinite.code, 2);
+  EXPECT_NE(infinite.err.find("buffer-capacity"), std::string::npos);
+  const auto zero = invoke({"simulate", "--stages=3", "--buffer-capacity=2",
+                            "--flow=credit", "--credit-latency=0"});
+  EXPECT_EQ(zero.code, 2);
+}
+
 TEST(Simulate, OmegaTopologySelectable) {
   const auto r = invoke({"simulate", "--stages=3", "--cycles=2000",
                          "--topology=omega", "--format=csv"});
@@ -289,7 +319,8 @@ TEST(Usage, MentionsEverySimulateOption) {
       "--q=",         "--hotspot=",  "--hotspot-target=",
       "--topology=",  "--service=",  "--cycles=",   "--warmup=",
       "--seed=",      "--replicates=", "--threads=",
-      "--buffer-capacity=", "--correlations", "--checkpoints=",
+      "--buffer-capacity=", "--flow=", "--credit-latency=",
+      "--correlations", "--checkpoints=",
       "--metrics-out=", "--obs-stride=", "--obs-trace=", "--obs-wall",
       "--format="};
   for (const char* opt : options)

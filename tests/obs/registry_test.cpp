@@ -92,13 +92,34 @@ TEST(HistogramMetric, QuantileSpansBuckets) {
 
 TEST(HistogramMetric, QuantileEdgeCases) {
   Histogram h(10.0, 5.0, 2);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  // Empty histogram: every quantile clamps to the lower bound. The old
+  // behavior returned a literal 0.0, which lies outside [10, 20].
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
   h.record(5.0);   // underflow
   h.record(99.0);  // overflow
   EXPECT_DOUBLE_EQ(h.quantile(0.25), 10.0);  // underflow reports the bound
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);   // overflow reports the top edge
   EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
   EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(HistogramMetric, QuantileStaysWithinRange) {
+  // With any sample mix, q = 0 and q = 1 never extrapolate past the
+  // bucket edges and never produce NaN.
+  Histogram h(10.0, 5.0, 2);
+  h.record(12.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 15.0);
+  h.record(17.0, 3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 20.0);
+  }
 }
 
 TEST(HistogramMetric, MergeRequiresSameLayout) {

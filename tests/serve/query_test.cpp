@@ -154,6 +154,120 @@ TEST(QueryParse, DeadlineDefaultsAndOverrides) {
       wire::kUsage);
 }
 
+TEST(QueryParse, ExplicitZeroDeadlineKeepsServerDefault) {
+  // "deadline_ms": 0 means "no per-request override", exactly like an
+  // absent field — it must not grant an immortal request on a server
+  // whose --deadline-ms default is finite.
+  EXPECT_EQ(Request::parse(R"({"kernel":"first_stage","deadline_ms":0})", 250)
+                .deadline_ms,
+            250);
+  EXPECT_EQ(Request::parse(R"({"kernel":"first_stage","deadline_ms":0})")
+                .deadline_ms,
+            0);
+}
+
+TEST(QueryParse, FiniteBufferDefaultsAndDomain) {
+  const Request req = Request::parse(R"({"kernel":"finite_buffer"})");
+  ASSERT_TRUE(req.valid()) << req.error_message;
+  EXPECT_EQ(req.query.kernel, Kernel::kFiniteBuffer);
+  EXPECT_EQ(req.query.stages, 3u);
+  EXPECT_EQ(req.query.depth, 4u);
+  EXPECT_EQ(req.query.flow, "vct");
+  EXPECT_EQ(req.query.replicates, 1u);
+  // Domain errors are usage, not internal.
+  EXPECT_EQ(Request::parse(
+                R"({"kernel":"finite_buffer","params":{"depth":0}})")
+                .error_kind,
+            wire::kUsage);
+  EXPECT_EQ(Request::parse(
+                R"({"kernel":"finite_buffer","params":{"depth":2000}})")
+                .error_kind,
+            wire::kUsage);
+  EXPECT_EQ(Request::parse(
+                R"({"kernel":"finite_buffer","params":{"flow":"wormhole"}})")
+                .error_kind,
+            wire::kUsage);
+}
+
+TEST(QueryParse, FiniteBufferEnforcesCostCaps) {
+  // The serve loop runs simulations synchronously; parse rejects tuples
+  // whose cost is unbounded instead of letting a request wedge a worker.
+  EXPECT_EQ(Request::parse(
+                R"({"kernel":"finite_buffer","params":{"cycles":300000}})")
+                .error_kind,
+            wire::kUsage);
+  EXPECT_EQ(Request::parse(
+                R"({"kernel":"finite_buffer","params":{"replicates":9}})")
+                .error_kind,
+            wire::kUsage);
+  // k^stages caps the port count at 4096.
+  EXPECT_EQ(Request::parse(
+                R"({"kernel":"finite_buffer","params":{"k":4,"stages":7}})")
+                .error_kind,
+            wire::kUsage);
+  EXPECT_TRUE(Request::parse(
+                  R"({"kernel":"finite_buffer","params":{"k":4,"stages":6}})")
+                  .valid());
+}
+
+TEST(QueryParse, CreditLatencyRequiresCreditFlow) {
+  EXPECT_EQ(Request::parse(R"({"kernel":"finite_buffer",)"
+                           R"("params":{"credit_latency":2}})")
+                .error_kind,
+            wire::kUsage);
+  EXPECT_EQ(Request::parse(R"({"kernel":"finite_buffer",)"
+                           R"("params":{"flow":"credit","credit_latency":0}})")
+                .error_kind,
+            wire::kUsage);
+  const Request req = Request::parse(
+      R"({"kernel":"finite_buffer",)"
+      R"("params":{"flow":"credit","credit_latency":3}})");
+  ASSERT_TRUE(req.valid()) << req.error_message;
+  EXPECT_EQ(req.query.credit_latency, 3u);
+}
+
+TEST(QueryParse, BufferSweepDepthsMustAscend) {
+  EXPECT_TRUE(Request::parse(R"({"kernel":"buffer_sweep",)"
+                             R"("params":{"depths":[1,4,32]}})")
+                  .valid());
+  EXPECT_EQ(Request::parse(R"({"kernel":"buffer_sweep",)"
+                           R"("params":{"depths":[]}})")
+                .error_kind,
+            wire::kUsage);
+  EXPECT_EQ(Request::parse(R"({"kernel":"buffer_sweep",)"
+                           R"("params":{"depths":[4,2]}})")
+                .error_kind,
+            wire::kUsage);
+  EXPECT_EQ(Request::parse(R"({"kernel":"buffer_sweep",)"
+                           R"("params":{"depths":[2,2]}})")
+                .error_kind,
+            wire::kUsage);
+  // depth belongs to finite_buffer, depths to buffer_sweep.
+  EXPECT_EQ(Request::parse(R"({"kernel":"buffer_sweep",)"
+                           R"("params":{"depth":4}})")
+                .error_kind,
+            wire::kUsage);
+  EXPECT_EQ(Request::parse(R"({"kernel":"finite_buffer",)"
+                           R"("params":{"depths":[1,2]}})")
+                .error_kind,
+            wire::kUsage);
+}
+
+TEST(QueryCanonical, SimTupleSpellingInvariant) {
+  const Request a = Request::parse(
+      R"({"kernel":"finite_buffer","params":{"depth":8,"seed":2}})");
+  const Request b = Request::parse(
+      R"({"kernel":"finite_buffer",)"
+      R"("params":{"seed":2,"depth":8,"flow":"vct","cycles":20000}})");
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_EQ(a.query.canonical(), b.query.canonical());
+  // Seed is part of the result, so it must be part of the cache key.
+  const Request c = Request::parse(
+      R"({"kernel":"finite_buffer","params":{"depth":8,"seed":3}})");
+  EXPECT_NE(a.query.canonical(), c.query.canonical());
+}
+
 TEST(QueryCanonical, SpellingInvariant) {
   const Request a =
       Request::parse(R"({"kernel":"first_stage","params":{"p":0.5}})");

@@ -108,6 +108,55 @@ TEST(Service, RepeatedTupleIsServedFromCache) {
   EXPECT_EQ(service.cache().stats().misses, 1u);
 }
 
+TEST(Service, FiniteBufferKernelIsDeterministicAndCached) {
+  // The simulation kernels are pure functions of the (seeded) tuple:
+  // a repeated request must hit the cache, and the convergence story
+  // must hold — a deep buffer's accept ratio is exactly 1.
+  Service service(ServeOptions{});
+  const std::string tuple =
+      R"("params":{"stages":3,"depth":64,"p":0.5,)"
+      R"("cycles":4000,"warmup":400}})";
+  std::istringstream in("{\"kernel\":\"finite_buffer\",\"id\":1," + tuple +
+                        "\n{\"kernel\":\"finite_buffer\",\"id\":2," + tuple +
+                        "\n");
+  std::ostringstream out;
+  service.run(in, out, nullptr);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const io::Json first = io::Json::parse(lines[0]);
+  ASSERT_TRUE(first.at("ok").as_bool()) << lines[0];
+  EXPECT_EQ(result_bytes(lines[0]), result_bytes(lines[1]));
+  EXPECT_TRUE(io::Json::parse(lines[1]).at("cached").as_bool());
+  const io::Json& result = first.at("result");
+  EXPECT_EQ(result.at("depth").as_int(), 64);
+  EXPECT_DOUBLE_EQ(result.at("accept_ratio").as_double(), 1.0);
+  EXPECT_EQ(result.at("packets_dropped").as_int(), 0);
+}
+
+TEST(Service, BufferSweepReportsGridAndInfiniteBaseline) {
+  Service service(ServeOptions{});
+  std::istringstream in(
+      R"({"kernel":"buffer_sweep","params":{"stages":3,"depths":[1,32],)"
+      R"("p":0.7,"cycles":4000,"warmup":400}})"
+      "\n");
+  std::ostringstream out;
+  service.run(in, out, nullptr);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const io::Json doc = io::Json::parse(lines[0]);
+  ASSERT_TRUE(doc.at("ok").as_bool()) << lines[0];
+  const io::Json& result = doc.at("result");
+  ASSERT_EQ(result.at("grid").size(), 2u);
+  // Shallow buffers drop traffic; depth 32 at this load accepts all of it
+  // and recovers the infinite-queue waiting time exactly.
+  const io::Json& shallow = result.at("grid").at(0);
+  const io::Json& deep = result.at("grid").at(1);
+  EXPECT_LT(shallow.at("accept_ratio").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(deep.at("accept_ratio").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(deep.at("mean_wait_last").as_double(),
+                   result.at("infinite").at("mean_wait_last").as_double());
+}
+
 TEST(Service, DisabledCacheStillAnswersDeterministically) {
   ServeOptions opts;
   opts.cache_mb = 0;

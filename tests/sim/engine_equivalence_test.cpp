@@ -152,6 +152,30 @@ TEST(EngineEquivalence, FiniteBuffersWithDrops) {
   expect_bit_identical(cfg);
 }
 
+TEST(EngineEquivalence, StoreAndForwardFlowControl) {
+  // SAF stamps downstream arrivals at t + m, a different eligibility path
+  // than cut-through; multi-cycle service makes the difference live.
+  NetworkConfig cfg = base_config();
+  cfg.buffer_capacity = 3;
+  cfg.p = 0.45;
+  cfg.service = ServiceSpec::deterministic(2);
+  cfg.flow = FlowControl::kStoreAndForward;
+  cfg.seed = 11;
+  expect_bit_identical(cfg);
+}
+
+TEST(EngineEquivalence, CreditFlowControl) {
+  // Shallow buffers under pressure: credits exhaust, the latency ring
+  // carries in-flight returns, and credit_stalls telemetry is live.
+  NetworkConfig cfg = base_config();
+  cfg.buffer_capacity = 1;
+  cfg.p = 0.85;
+  cfg.flow = FlowControl::kCredit;
+  cfg.credit_latency = 3;
+  cfg.seed = 17;
+  expect_bit_identical(cfg);
+}
+
 TEST(EngineEquivalence, CorrelationTracking) {
   NetworkConfig cfg = base_config();
   cfg.track_correlations = true;

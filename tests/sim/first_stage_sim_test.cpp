@@ -164,5 +164,52 @@ TEST(FirstStageSim, RejectsBadConfig) {
   EXPECT_THROW(run_first_stage(cfg), std::invalid_argument);
 }
 
+TEST(FirstStageSim, HotspotTargetValidatedEvenWhenInactive) {
+  // The regression this guards: an out-of-range target used to slip
+  // through when hotspot == 0 and only exploded (or silently aliased)
+  // once a caller turned the rate up. The check runs on every path.
+  FirstStageConfig cfg = base_config();
+  cfg.hotspot_target = cfg.s;  // first invalid output
+  EXPECT_THROW(run_first_stage(cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.hotspot = 0.5;
+  cfg.hotspot_target = 99;
+  EXPECT_THROW(run_first_stage(cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.hotspot = -0.1;
+  EXPECT_THROW(run_first_stage(cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.hotspot = 1.5;
+  EXPECT_THROW(run_first_stage(cfg), std::invalid_argument);
+}
+
+TEST(FirstStageSim, InactiveHotspotPreservesRngStream) {
+  // hotspot == 0 must draw nothing from the generator: results are
+  // bit-identical to a config that never mentions the hot spot.
+  FirstStageConfig plain = base_config();
+  plain.measure_cycles = 20'000;
+  FirstStageConfig with_target = plain;
+  with_target.hotspot_target = 1;  // valid, but inert at rate 0
+  const auto a = run_first_stage(plain);
+  const auto b = run_first_stage(with_target);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.waiting.mean(), b.waiting.mean());
+  EXPECT_EQ(a.waiting.variance(), b.waiting.variance());
+}
+
+TEST(FirstStageSim, SaturatedHotspotMatchesSingleQueueTheory) {
+  // hotspot = 1 funnels every batch from k inputs into one queue, which
+  // is exactly the k-input single-output switch of Theorem 1.
+  FirstStageConfig cfg = base_config();
+  cfg.k = 4;
+  cfg.s = 4;
+  cfg.p = 0.2;  // target queue sees lambda = 0.8
+  cfg.hotspot = 1.0;
+  cfg.hotspot_target = 2;
+  const auto r = run_first_stage(cfg);
+  const double want = core::closed::eq6_mean(4, 1, 0.2);
+  EXPECT_NEAR(r.waiting.mean(), want, 0.05 * want);
+}
+
 }  // namespace
 }  // namespace ksw::sim

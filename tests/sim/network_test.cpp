@@ -280,6 +280,11 @@ TEST(NetworkSim, RejectsHotspotTargetOutsideNetwork) {
   cfg.measure_cycles = 500;
   const auto r = run_network(cfg);
   EXPECT_GT(r.packets_delivered, 0u);
+  // The range check runs even at hotspot rate 0 — a latent bad target
+  // fails at construction, not when someone later turns the rate up.
+  cfg.hotspot = 0.0;
+  cfg.hotspot_target = 1u << cfg.stages;
+  EXPECT_THROW(run_network(cfg), std::invalid_argument);
 }
 
 TEST(NetworkSim, MergeRejectsStageHistShapeMismatch) {

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <stdexcept>
 #include <vector>
 
 #include "rng/xoshiro.hpp"
@@ -79,6 +80,35 @@ TEST(QueuePool, AtIndexesFromHead) {
   ASSERT_EQ(pool.size(0), 5u);
   for (std::size_t i = 0; i < 5; ++i)
     EXPECT_EQ(pool.at(0, i), static_cast<int>(i) + 1);
+}
+
+TEST(QueuePool, FixedModeWrapsWithinCapacity) {
+  // Fixed pools never reallocate; the ring must still wrap cleanly when
+  // the head circles the full capacity many times.
+  QueuePool<int> pool(2, 4, /*fixed=*/true);
+  int next = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) pool.push(1, next + i);
+    ASSERT_EQ(pool.size(1), 4u);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(pool.front(1), next + i);
+      pool.pop(1);
+    }
+    next += 4;
+  }
+  EXPECT_TRUE(pool.empty(1));
+  EXPECT_EQ(pool.capacity(1), 4u);
+}
+
+TEST(QueuePool, FixedModePushBeyondCapacityThrows) {
+  // An overflow in fixed mode is a flow-control bug, not a resize: the
+  // pool must fail loudly instead of silently doubling.
+  QueuePool<int> pool(1, 4, /*fixed=*/true);
+  for (int i = 0; i < 4; ++i) pool.push(0, i);
+  EXPECT_THROW(pool.push(0, 99), std::logic_error);
+  // The ring is unchanged after the rejected push.
+  EXPECT_EQ(pool.size(0), 4u);
+  EXPECT_EQ(pool.front(0), 0);
 }
 
 std::vector<std::uint32_t> candidates(ActiveSet& set) {

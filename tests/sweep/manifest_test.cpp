@@ -209,6 +209,106 @@ TEST(Manifest, KindNamesRoundTrip) {
   EXPECT_STREQ(to_string(SectionKind::kStageConvergence),
                "stage_convergence");
   EXPECT_STREQ(to_string(SectionKind::kTotalDelay), "total_delay");
+  EXPECT_STREQ(to_string(SectionKind::kFiniteBuffer), "finite_buffer");
+}
+
+TEST(Manifest, FiniteBufferSectionParses) {
+  const Manifest m = parse(doc(
+      R"({"id":"fb","title":"F","kind":"finite_buffer","stages":3,
+          "depths":[1,4,32],"flow":"credit","credit_latency":3,
+          "grid":{"points":[{"p":0.7}]}})"));
+  const Section& s = m.sections[0];
+  EXPECT_EQ(s.kind, SectionKind::kFiniteBuffer);
+  EXPECT_EQ(s.depths, (std::vector<unsigned>{1, 4, 32}));
+  EXPECT_EQ(s.flow, "credit");
+  EXPECT_EQ(s.credit_latency, 3u);
+}
+
+TEST(Manifest, FiniteBufferRequiresAscendingDepths) {
+  const char* base =
+      R"({"id":"fb","title":"F","kind":"finite_buffer","stages":3,
+          "depths":%s,"grid":{"points":[{"p":0.7}]}})";
+  const auto with = [&](const char* depths) {
+    std::string s = base;
+    s.replace(s.find("%s"), 2, depths);
+    return doc(s);
+  };
+  EXPECT_THROW(parse(with("[]")), ksw::Error);
+  EXPECT_THROW(parse(with("[4,2]")), ksw::Error);
+  EXPECT_THROW(parse(with("[2,2]")), ksw::Error);
+  EXPECT_THROW(parse(with("[0,2]")), ksw::Error);
+  EXPECT_NO_THROW(parse(with("[2,4]")));
+  // depths is mandatory for the kind...
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"fb","title":"F","kind":"finite_buffer",
+                       "stages":3,"grid":{"points":[{"p":0.7}]}})")),
+               ksw::Error);
+  // ...and meaningless anywhere else.
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"stage_convergence",
+                       "stages":3,"depths":[2,4],
+                       "grid":{"points":[{"p":0.7}]}})")),
+               ksw::Error);
+}
+
+TEST(Manifest, FiniteBufferFlowVocabulary) {
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"fb","title":"F","kind":"finite_buffer",
+                       "stages":3,"depths":[2],"flow":"wormhole",
+                       "grid":{"points":[{"p":0.7}]}})")),
+               ksw::Error);
+  // credit_latency only makes sense under credit flow control.
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"fb","title":"F","kind":"finite_buffer",
+                       "stages":3,"depths":[2],"flow":"vct",
+                       "credit_latency":2,
+                       "grid":{"points":[{"p":0.7}]}})")),
+               ksw::Error);
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"fb","title":"F","kind":"finite_buffer",
+                       "stages":3,"depths":[2],"flow":"credit",
+                       "credit_latency":0,
+                       "grid":{"points":[{"p":0.7}]}})")),
+               ksw::Error);
+}
+
+TEST(Manifest, HotspotPointsOnlyInFiniteBufferSections) {
+  EXPECT_NO_THROW(parse(doc(
+      R"({"id":"fb","title":"F","kind":"finite_buffer","stages":3,
+          "depths":[2],
+          "grid":{"points":[{"p":0.5,"hotspot":0.01,"hotspot_target":0}]}})")));
+  // Active hot spots have no analytic column in the other section kinds.
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"stage_convergence",
+                       "stages":3,
+                       "grid":{"points":[{"p":0.5,"hotspot":0.01}]}})")),
+               ksw::Error);
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"g","title":"G","kind":"first_stage",
+                       "grid":{"points":[{"p":0.5,"hotspot_target":1}]}})")),
+               ksw::Error);
+  // The target must name a real port (< k^stages) even when inactive.
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"fb","title":"F","kind":"finite_buffer",
+                       "stages":3,"depths":[2],
+                       "grid":{"points":[{"p":0.5,"hotspot":0.01,
+                                          "hotspot_target":8}]}})")),
+               ksw::Error);
+  EXPECT_THROW(parse(doc(
+                   R"({"id":"fb","title":"F","kind":"finite_buffer",
+                       "stages":3,"depths":[2],
+                       "grid":{"points":[{"p":0.5,"hotspot":1.0}]}})")),
+               ksw::Error);
+}
+
+TEST(Manifest, HotspotPointLabel) {
+  const Manifest m = parse(doc(
+      R"({"id":"fb","title":"F","kind":"finite_buffer","stages":3,
+          "depths":[2],
+          "grid":{"points":[{"p":0.5,"hotspot":0.01,"hotspot_target":3}]}})"));
+  EXPECT_NE(m.sections[0].points[0].label().find("hot=0.01@3"),
+            std::string::npos)
+      << m.sections[0].points[0].label();
 }
 
 TEST(Manifest, LoadManifestReportsMissingFile) {

@@ -40,6 +40,9 @@ Manifest tiny_manifest() {
         "grid": { "points": [{ "p": 0.5 }] } },
       { "id": "totals", "title": "Totals", "kind": "total_delay",
         "stages": 3, "checkpoints": [2, 3], "measure_cycles": 3000,
+        "grid": { "points": [{ "p": 0.5 }] } },
+      { "id": "buffers", "title": "Buffers", "kind": "finite_buffer",
+        "stages": 3, "depths": [1, 8], "measure_cycles": 3000,
         "grid": { "points": [{ "p": 0.5 }] } }
     ]
   })";
@@ -101,6 +104,29 @@ TEST(Runner, TotalDelayEmitsCheckpointCells) {
   EXPECT_FALSE(cells[1].mean_like);
 }
 
+TEST(Runner, FiniteBufferGatesOnlyTheDeepestDepth) {
+  const Manifest m = tiny_manifest();
+  par::ThreadPool pool(2);
+  const SectionResult r = run_section(m.sections[3], pool);
+  ASSERT_EQ(r.points.size(), 1u);
+  const auto& cells = r.points[0].cells;
+  // eq. 12 oracle pin + (accept, E[w last]) per depth.
+  ASSERT_EQ(cells.size(), 5u);
+  EXPECT_EQ(cells[0].metric, "infinite E[w last] (eq. 12)");
+  EXPECT_TRUE(cells[0].gated);
+  EXPECT_EQ(cells[1].metric, "depth=1 accept");
+  EXPECT_FALSE(cells[1].gated);  // shallow depths are informational
+  EXPECT_FALSE(cells[2].gated);
+  EXPECT_EQ(cells[3].metric, "depth=8 accept");
+  EXPECT_TRUE(cells[3].gated);
+  EXPECT_TRUE(cells[4].gated);
+  // Depth 1 at rho = 0.5 visibly rejects traffic; depth 8 accepts all of
+  // it and reproduces the infinite-queue oracle.
+  EXPECT_LT(cells[1].simulated, 1.0);
+  EXPECT_DOUBLE_EQ(cells[3].analytic, 1.0);
+  EXPECT_TRUE(r.points[0].pass());
+}
+
 TEST(Runner, GateWidensWithConfidenceInterval) {
   Tolerance tol;
   tol.mean_rel = 0.0;
@@ -142,7 +168,7 @@ TEST(Emit, IndexLinksEverySection) {
   EXPECT_NE(idx.find("stages.csv"), std::string::npos);
   EXPECT_NE(idx.find("manifests/tiny.json"), std::string::npos);
   const auto book = render_book(m, result);
-  ASSERT_EQ(book.size(), 7u);  // 3 x (md + csv) + index
+  ASSERT_EQ(book.size(), 9u);  // 4 x (md + csv) + index
   EXPECT_EQ(book.back().path, "out/INDEX.md");
 }
 
@@ -171,8 +197,8 @@ TEST(Runner, ProgressStreamReportsSections) {
   std::ostringstream progress;
   const SweepResult result = run_sweep(m, pool, &progress);
   EXPECT_TRUE(result.pass());
-  EXPECT_NE(progress.str().find("[1/3] first"), std::string::npos);
-  EXPECT_NE(progress.str().find("[3/3] totals"), std::string::npos);
+  EXPECT_NE(progress.str().find("[1/4] first"), std::string::npos);
+  EXPECT_NE(progress.str().find("[4/4] buffers"), std::string::npos);
 }
 
 }  // namespace
