@@ -24,18 +24,16 @@
 //     cache hit/miss + shard, queue-wait vs eval-wall split, outcome.
 //   --trace-out records serve.batch/serve.request spans and writes a
 //     ksw.trace/v1 stream on shutdown (see `kswsim trace`).
-#include <atomic>
-#include <chrono>
 #include <iostream>
 #include <optional>
 #include <ostream>
 #include <sstream>
-#include <thread>
 #include <unistd.h>
 
 #include "io/atomic.hpp"
 #include "io/json.hpp"
 #include "kswsim/cli.hpp"
+#include "kswsim/metrics_ticker.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_export.hpp"
 #include "par/cancel.hpp"
@@ -67,52 +65,13 @@ void write_report(const std::string& path, const io::Json& report,
     io::atomic_write_file(path, body.str());
 }
 
-/// Periodic metrics snapshotter: rewrites `path` atomically every
-/// `interval_ms` until stopped, so an operator (or the fleet
-/// supervisor) can watch counters and latency quantiles live instead of
-/// waiting for shutdown. Write failures disable the ticker with one
-/// stderr note — monitoring must never take the service down.
-class MetricsTicker {
- public:
-  MetricsTicker(const serve::Service& service, std::string path,
-                std::int64_t interval_ms, std::ostream& err)
-      : service_(service), path_(std::move(path)) {
-    thread_ = std::thread([this, interval_ms, &err] {
-      const auto interval = std::chrono::milliseconds(interval_ms);
-      auto next = std::chrono::steady_clock::now() + interval;
-      while (!done_.load(std::memory_order_relaxed)) {
-        // Short sleeps so shutdown is observed promptly even with a
-        // long interval.
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-        if (std::chrono::steady_clock::now() < next) continue;
-        next += interval;
-        try {
-          io::atomic_write_file(path_,
-                                service_.report().to_string(2) + "\n");
-        } catch (const std::exception& e) {
-          err << "serve: metrics snapshot failed, disabling ticker: "
-              << e.what() << "\n";
-          return;
-        }
-      }
-    });
-  }
-
-  ~MetricsTicker() {
-    done_.store(true, std::memory_order_relaxed);
-    if (thread_.joinable()) thread_.join();
-  }
-
- private:
-  const serve::Service& service_;
-  std::string path_;
-  std::atomic<bool> done_{false};
-  std::thread thread_;
-};
-
 }  // namespace
 
 int cmd_serve(const ArgMap& args, std::ostream& out, std::ostream& err) {
+  // `serve --fleet=N` is sugar for `fleet --workers=N` (docs/SERVING.md
+  // "Fleet protocol addendum"): one entry point, two process models.
+  if (args.has("fleet")) return cmd_fleet(args, out, err);
+
   serve::ServeOptions opts;
   opts.threads = static_cast<std::size_t>(get_count(args, "threads", 0));
   opts.batch = static_cast<std::size_t>(get_count(args, "batch", 64));
@@ -153,7 +112,9 @@ int cmd_serve(const ArgMap& args, std::ostream& out, std::ostream& err) {
   {
     std::optional<MetricsTicker> ticker;
     if (metrics_interval > 0)
-      ticker.emplace(service, metrics_out, metrics_interval, err);
+      ticker.emplace(
+          [&service] { return service.report().to_string(2) + "\n"; },
+          metrics_out, metrics_interval, err, "serve");
     if (!listen.empty()) {
       err << "serve: listening on " << listen << "\n";
       summary = service.run_listen(listen, cancel);

@@ -1,0 +1,37 @@
+// Worker-process management for the serve fleet.
+//
+// A fleet worker is a plain `kswsim serve --listen=<socket>` process:
+// the supervisor fork+execs the same binary it was started from (or an
+// explicit --worker-binary), waits for the worker's Unix socket to
+// accept, and keeps exactly one connection per worker open. Reusing the
+// whole single-process serve path is what makes the fleet's bit-identity
+// guarantee structural rather than aspirational: a worker cannot answer
+// differently from `kswsim serve` because it *is* `kswsim serve`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace ksw::fleet {
+
+/// Absolute path of the currently running executable (/proc/self/exe).
+/// Throws ksw::Error(kFleet) when it cannot be resolved.
+[[nodiscard]] std::string self_exe_path();
+
+/// Fork+exec `binary` with `args` (argv[1..]; argv[0] is `binary`).
+/// The child's stdin is redirected to /dev/null; stdout and stderr are
+/// inherited so worker diagnostics surface in the supervisor's stderr.
+/// Returns the child pid; throws ksw::Error(kFleet) on fork failure.
+[[nodiscard]] pid_t spawn_process(const std::string& binary,
+                                  const std::vector<std::string>& args);
+
+/// Connect to a Unix stream socket, retrying until the path accepts or
+/// `timeout_ms` elapses (covers the spawn -> bind race on a fresh
+/// worker). The returned descriptor is non-blocking and close-on-exec.
+/// Throws ksw::Error(kFleet) on timeout or connect failure.
+[[nodiscard]] int connect_unix_retry(const std::string& socket_path,
+                                     int timeout_ms);
+
+}  // namespace ksw::fleet

@@ -50,6 +50,11 @@ inline constexpr const char* kNumeric = "numeric";          ///< model guard
 inline constexpr const char* kDeadline = "deadline";        ///< expired
 inline constexpr const char* kInterrupted = "interrupted";  ///< shutdown
 inline constexpr const char* kInternal = "internal";        ///< a bug
+/// Fleet-only (docs/SERVING.md "Fleet protocol addendum"): the
+/// supervisor's bounded per-worker queue is full and the request was
+/// shed instead of queued. A single-process `kswsim serve` never emits
+/// it. Retryable by construction — nothing was evaluated.
+inline constexpr const char* kOverload = "overload";
 }  // namespace wire
 
 /// Parameter tuple of one request, defaults filled in. Construction goes

@@ -16,6 +16,8 @@ const char* to_string(ErrorKind kind) noexcept {
       return "drift";
     case ErrorKind::kInterrupted:
       return "interrupted";
+    case ErrorKind::kFleet:
+      return "fleet";
   }
   return "?";
 }
