@@ -6,6 +6,7 @@
 //                   [--warmup=N] [--seed=N] [--replicates=R] [--threads=T]
 //                   [--buffer-capacity=C] [--flow=vct|saf|credit]
 //                   [--credit-latency=N] [--correlations]
+//                   [--rng=philox|xoshiro] [--simd=auto|off]
 //                   [--checkpoints=3,6,9,12] [--format=table|json|csv]
 //                   [--metrics-out=FILE] [--obs-stride=N] [--obs-trace=N]
 //                   [--obs-wall]
@@ -28,6 +29,7 @@
 #include "kswsim/cli.hpp"
 #include "obs/report.hpp"
 #include "sim/replicate.hpp"
+#include "simd/simd.hpp"
 #include "support/error.hpp"
 #include "tables/table.hpp"
 
@@ -104,6 +106,8 @@ io::Json build_run_report(const sim::NetworkConfig& cfg,
   config.set("warmup_cycles", static_cast<std::int64_t>(cfg.warmup_cycles));
   config.set("measure_cycles", static_cast<std::int64_t>(cfg.measure_cycles));
   config.set("seed", static_cast<std::uint64_t>(cfg.seed));
+  config.set("rng", sim::to_string(cfg.rng));
+  config.set("simd", simd::to_string(simd::active_level()));
   config.set("replicates", static_cast<std::int64_t>(replicates));
   config.set("obs_stride", static_cast<std::int64_t>(cfg.obs.stride));
   config.set("trace_points", static_cast<std::int64_t>(cfg.obs.trace_points));
@@ -188,6 +192,17 @@ int cmd_simulate(const ArgMap& args, std::ostream& out, std::ostream& err) {
                       "\"");
   }
   cfg.credit_latency = args.get_unsigned("credit-latency", 2);
+  const std::string rng = args.get("rng", "philox");
+  try {
+    cfg.rng = sim::parse_rng_kind(rng);
+  } catch (const std::invalid_argument&) {
+    throw usage_error("--rng: expected philox|xoshiro, got \"" + rng + "\"");
+  }
+  const std::string simd = args.get("simd", "auto");
+  if (simd == "off")
+    simd::force_level(simd::Level::kScalar);
+  else if (simd != "auto")
+    throw usage_error("--simd: expected auto|off, got \"" + simd + "\"");
   if (cfg.flow != sim::FlowControl::kCutThrough && cfg.buffer_capacity == 0)
     throw usage_error("--flow=" + flow +
                       " requires a finite --buffer-capacity");

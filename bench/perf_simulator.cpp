@@ -7,15 +7,24 @@
 // active-set scheduler cares about. Each probe prints cycles/sec and
 // packets/sec plus one machine-readable line prefixed "BENCH_perf.json".
 // Flags (consumed before benchmark::Initialize):
-//   --perf-only    run only the throughput probes, skip the BM_ suite
-//   --obs=on|off   probe with observability sampling enabled (default off);
-//                  scripts/check_obs_overhead.sh compares the two modes.
+//   --perf-only       run only the throughput probes, skip the BM_ suite
+//   --obs=on|off      probe with observability sampling enabled (default
+//                     off); scripts/check_obs_overhead.sh compares the two.
+//   --baseline=FILE   JSONL of recorded BENCH_perf.json lines to compare
+//                     against (default ./BENCH_perf.json). Every probe
+//                     prints its baseline line even when the file is
+//                     absent — a fresh clone reports "none" rather than
+//                     silently omitting the comparison.
+//   --gate            exit 3 if any probe regresses more than 20% in
+//                     packets/sec vs its baseline entry (CI; see
+//                     scripts/check_perf.sh and docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -140,6 +149,87 @@ ProbeResult run_probe(ksw::sim::NetworkConfig cfg, int repeats) {
   return best;
 }
 
+/// One recorded baseline probe, keyed by workload.
+struct BaselineEntry {
+  unsigned k = 0;
+  unsigned stages = 0;
+  double p = 0.0;
+  bool obs = false;
+  double packets_per_sec = 0.0;
+};
+
+struct Baseline {
+  bool file_found = false;
+  std::string path;
+  std::vector<BaselineEntry> entries;
+
+  [[nodiscard]] const BaselineEntry* find(const ksw::sim::NetworkConfig& cfg)
+      const {
+    for (const BaselineEntry& e : entries)
+      if (e.k == cfg.k && e.stages == cfg.stages && e.p == cfg.p &&
+          e.obs == cfg.obs.enabled)
+        return &e;
+    return nullptr;
+  }
+};
+
+/// Load a JSONL baseline (one BENCH_perf.json object per line, with or
+/// without the "BENCH_perf.json " prefix). Malformed lines are skipped:
+/// a damaged baseline degrades to "no entry", never to a crash.
+Baseline load_baseline(const std::string& path) {
+  Baseline b;
+  b.path = path;
+  std::ifstream in(path);
+  if (!in) return b;
+  b.file_found = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string prefix = "BENCH_perf.json ";
+    if (line.rfind(prefix, 0) == 0) line = line.substr(prefix.size());
+    if (line.empty()) continue;
+    try {
+      const ksw::io::Json j = ksw::io::Json::parse(line);
+      BaselineEntry e;
+      e.k = static_cast<unsigned>(j.at("k").as_int());
+      e.stages = static_cast<unsigned>(j.at("stages").as_int());
+      e.p = j.at("p").as_double();
+      e.obs = j.at("obs").as_string() == "on";
+      e.packets_per_sec = j.at("packets_per_sec").as_double();
+      b.entries.push_back(e);
+    } catch (const std::exception&) {
+      // skip
+    }
+  }
+  return b;
+}
+
+/// Print the baseline comparison for one probe; returns false when the
+/// probe regresses past the 20% floor (only meaningful under --gate).
+bool print_baseline_line(const Baseline& baseline,
+                         const ksw::sim::NetworkConfig& cfg,
+                         double packets_per_sec) {
+  if (!baseline.file_found) {
+    std::printf(
+        "  vs baseline     none (%s not found; record one with "
+        "scripts/check_perf.sh --update)\n",
+        baseline.path.c_str());
+    return true;
+  }
+  const BaselineEntry* e = baseline.find(cfg);
+  if (e == nullptr || e->packets_per_sec <= 0.0) {
+    std::printf(
+        "  vs baseline     no entry for this workload in %s\n",
+        baseline.path.c_str());
+    return true;
+  }
+  const double ratio = packets_per_sec / e->packets_per_sec;
+  const bool ok = ratio >= 0.8;
+  std::printf("  vs baseline     %.2fx (baseline %.3e packets/sec)%s\n",
+              ratio, e->packets_per_sec,
+              ok ? "" : "  ** REGRESSION > 20% **");
+  return ok;
+}
+
 void print_probe(const ksw::sim::NetworkConfig& cfg, const ProbeResult& r) {
   const double cycles_per_sec =
       static_cast<double>(r.cycles) / r.wall_s;
@@ -177,6 +267,8 @@ void print_probe(const ksw::sim::NetworkConfig& cfg, const ProbeResult& r) {
 int main(int argc, char** argv) {
   bool perf_only = false;
   bool obs_enabled = false;
+  bool gate = false;
+  std::string baseline_path = "BENCH_perf.json";
   std::vector<char*> passthrough;
   passthrough.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -186,10 +278,16 @@ int main(int argc, char** argv) {
       obs_enabled = true;
     } else if (std::strcmp(argv[i], "--obs=off") == 0) {
       obs_enabled = false;
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
+  const Baseline baseline = load_baseline(baseline_path);
+  bool gate_ok = true;
 
   {
     // Legacy acceptance probe; scripts/check_obs_overhead.sh keys on this
@@ -201,7 +299,10 @@ int main(int argc, char** argv) {
     cfg.warmup_cycles = 1'000;
     cfg.measure_cycles = 20'000;
     cfg.obs.enabled = obs_enabled;
-    print_probe(cfg, run_probe(cfg, 3));
+    const ProbeResult r = run_probe(cfg, 3);
+    print_probe(cfg, r);
+    gate_ok &= print_baseline_line(
+        baseline, cfg, static_cast<double>(r.packets) / r.wall_s);
   }
   for (const double rho : {0.5, 0.8, 0.95}) {
     ksw::sim::NetworkConfig cfg;
@@ -211,8 +312,20 @@ int main(int argc, char** argv) {
     cfg.warmup_cycles = 500;
     cfg.measure_cycles = 4'000;
     cfg.obs.enabled = obs_enabled;
-    print_probe(cfg, run_probe(cfg, 3));
+    const ProbeResult r = run_probe(cfg, 3);
+    print_probe(cfg, r);
+    gate_ok &= print_baseline_line(
+        baseline, cfg, static_cast<double>(r.packets) / r.wall_s);
   }
+  if (gate && !gate_ok) {
+    std::printf(
+        "perf gate: FAILED — throughput regressed > 20%% vs %s\n",
+        baseline.path.c_str());
+    return 3;
+  }
+  if (gate)
+    std::printf("perf gate: OK (within 20%% of %s)\n",
+                baseline.path.c_str());
   if (perf_only) return 0;
 
   int bench_argc = static_cast<int>(passthrough.size());

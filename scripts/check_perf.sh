@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Simulator throughput regression gate.
+#
+#   scripts/check_perf.sh [--update] [build-dir]
+#
+# Runs the perf_simulator throughput probes, appends the fresh
+# BENCH_perf.json lines to <build-dir>/BENCH_perf.runs.jsonl (a local
+# run history, not committed), and fails when any probe's packets/sec
+# drops more than 20% below the checked-in baseline (BENCH_perf.json at
+# the repo root). The comparison itself runs inside perf_simulator
+# (--baseline/--gate), so the binary prints the same report with or
+# without CI.
+#
+#   --update   rewrite the repo-root baseline from this machine's run
+#              (do this deliberately, on the machine the numbers are
+#              for; see docs/PERFORMANCE.md "Updating a baseline").
+set -euo pipefail
+
+update=0
+if [ "${1:-}" = "--update" ]; then
+  update=1
+  shift
+fi
+build_dir="${1:-build}"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+bin="$src_dir/$build_dir/bench/perf_simulator"
+baseline="$src_dir/BENCH_perf.json"
+[ -x "$bin" ] || {
+  echo "check_perf: $bin not built (build the bench targets first)" >&2
+  exit 2
+}
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+if [ "$update" -eq 1 ]; then
+  (cd "$src_dir" && "$bin" --perf-only "--baseline=$baseline") | tee "$out"
+  sed -n 's/^BENCH_perf\.json //p' "$out" > "$baseline"
+  echo "check_perf: wrote $(wc -l < "$baseline" | tr -d ' ') probe lines to $baseline"
+  exit 0
+fi
+
+status=0
+(cd "$src_dir" && "$bin" --perf-only "--baseline=$baseline" --gate) \
+  | tee "$out" || status=$?
+# Keep a local history of every gated run for trend spelunking.
+sed -n 's/^BENCH_perf\.json /BENCH_perf.json /p' "$out" \
+  >> "$src_dir/$build_dir/BENCH_perf.runs.jsonl"
+if [ "$status" -ne 0 ]; then
+  echo "check_perf: FAILED (exit $status) — see probe report above" >&2
+  exit "$status"
+fi
+echo "check_perf: OK"

@@ -113,6 +113,41 @@ if [ -e "$work/book/.checkpoint.jsonl" ]; then
   exit 1
 fi
 
+echo "== mid-replicate kill leaves shards; resume replays them"
+rm -rf "$work/book"
+# replicate.slow stalls the first replicate visited for 3 s. Its sibling
+# replicate finishes in milliseconds and lands in the journal as a shard,
+# so the SIGINT interrupts the run mid-replicate — the resumed run must
+# replay the shard, recompute only the killed replicate (counter-based
+# streams make the recomputation exact), and still emit an identical book.
+KSW_FAULTS=replicate.slow:3000 \
+  "$kswsim" reproduce --manifest="$work/manifest.json" --threads=2 \
+  >/dev/null 2>"$work/midrep.log" &
+pid=$!
+sleep 0.5
+kill -INT "$pid"
+got=0
+wait "$pid" || got=$?
+if [ "$got" -ne 130 ]; then
+  echo "check_resume: mid-replicate kill: expected exit 130, got $got" >&2
+  cat "$work/midrep.log" >&2
+  exit 1
+fi
+grep -q '"shard"' "$work/book/.checkpoint.jsonl" || {
+  echo "check_resume: no replicate shards in journal after mid-replicate kill" >&2
+  exit 1
+}
+"$kswsim" reproduce --manifest="$work/manifest.json" --threads=2 --resume \
+  >/dev/null
+diff -r "$work/reference" "$work/book" || {
+  echo "check_resume: book resumed from replicate shards differs" >&2
+  exit 1
+}
+if [ -e "$work/book/.checkpoint.jsonl" ]; then
+  echo "check_resume: journal not removed after shard resume" >&2
+  exit 1
+fi
+
 echo "== fault matrix (documented exit codes)"
 rm -rf "$work/book"
 expect_exit 7 "replicate.throw -> degraded" \

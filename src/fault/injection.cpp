@@ -53,8 +53,8 @@ unsigned parse_count(const std::string& text, const std::string& what) {
 
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
-      "replicate.throw", "point.slow", "io.open", "io.write",
-      "series.near-singular"};
+      "replicate.throw", "replicate.slow", "point.slow", "io.open",
+      "io.write", "series.near-singular"};
   return sites;
 }
 

@@ -46,6 +46,8 @@ struct SiteSpec {
 
 /// The registered site names, in documentation order:
 ///   replicate.throw      a sweep replicate task throws
+///   replicate.slow       one sweep replicate stalls for delay_ms (kill/
+///                        resume tests interrupt it mid-simulation)
 ///   point.slow           a grid point stalls for delay_ms
 ///   io.open              io::atomic_write_file fails to open the temp file
 ///   io.write             io::atomic_write_file fails mid-write

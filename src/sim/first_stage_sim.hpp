@@ -8,9 +8,10 @@
 #include <vector>
 
 #include "rng/xoshiro.hpp"
+#include "sim/network.hpp"
 #include "sim/service_spec.hpp"
-#include "stats/accumulator.hpp"
 #include "stats/histogram.hpp"
+#include "stats/moment_tally.hpp"
 
 namespace ksw::sim {
 
@@ -34,13 +35,17 @@ struct FirstStageConfig {
   std::int64_t warmup_cycles = 5'000;
   std::int64_t measure_cycles = 100'000;
   std::uint64_t seed = 1;
+
+  /// Random-stream scheme, mirroring NetworkConfig::rng: counter-based
+  /// Philox by default, the historic sequential xoshiro stream on demand.
+  RngKind rng = RngKind::kPhilox;
 };
 
 /// Waiting-time statistics aggregated over all output queues.
 struct FirstStageResults {
-  stats::Accumulator waiting;      ///< per-message waiting time
+  stats::MomentTally waiting;      ///< per-message waiting time
   stats::IntHistogram histogram;   ///< waiting-time tally
-  stats::Accumulator queue_depth;  ///< sampled queue length (Little check)
+  stats::MomentTally queue_depth;  ///< sampled queue length (Little check)
   std::uint64_t messages = 0;
 
   void merge(const FirstStageResults& other);

@@ -19,15 +19,18 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "rng/philox.hpp"
 #include "rng/xoshiro.hpp"
 #include "sim/active_set.hpp"
 #include "sim/network_detail.hpp"
 #include "sim/queue_pool.hpp"
 #include "sim/topology.hpp"
+#include "simd/inject.hpp"
 
 namespace ksw::sim {
 
@@ -77,6 +80,175 @@ class CorrTable {
   std::vector<std::uint32_t> free_;
 };
 
+
+/// Compact hot-loop packet for the specialized engine below: with unit
+/// service and no correlation row, 16 bytes cover everything a hop needs,
+/// so a fresh queue's whole ring (4 slots) is a single cache line. Cycle
+/// stamps are 32-bit; the engine is only selected when the run length
+/// fits (see fast_engine_eligible).
+struct FastPacket {
+  std::uint32_t arrival = 0;  // cycle available at the current queue
+  std::uint32_t born = 0;     // injection cycle (measurement gating)
+  std::uint32_t dst = 0;
+  std::int32_t total_wait = 0;
+};
+static_assert(sizeof(FastPacket) == 16,
+              "FastPacket must stay a quarter cache line");
+
+/// May run_network dispatch cfg to the specialized engine? Counter-mode
+/// RNG, infinite buffers, unit service, every optional instrument off —
+/// the throughput-gate workload and the bulk of the reproduction book.
+[[nodiscard]] bool fast_engine_eligible(const NetworkConfig& cfg) {
+  return cfg.rng == RngKind::kPhilox && cfg.buffer_capacity == 0 &&
+         cfg.service.is_unit() && !(obs::kEnabled && cfg.obs.enabled) &&
+         !cfg.track_correlations && !cfg.track_stage_histograms &&
+         cfg.warmup_cycles + cfg.measure_cycles <
+             std::int64_t{std::numeric_limits<std::uint32_t>::max()};
+}
+
+/// Specialized cycle engine for fast_engine_eligible configs. Strips every
+/// disabled-feature branch from the generic loop and restructures each
+/// stage's service walk into a chunked two-pass sweep over a materialized
+/// candidate list:
+///
+///   pass A reads each head (ring slots prefetched kLookahead queues
+///   ahead), records waits, and builds the re-stamped outgoing packet;
+///   pass B pops and pushes one block later, while those lines are still
+///   resident.
+///
+/// The split is order-equivalent to the interleaved generic loop: pass A
+/// only reads stage-s queues, pass B's pops (stage s) and pushes (stage
+/// s+1) touch disjoint queues, pushes keep ascending-port order (the
+/// downstream FIFO interleave), and every statistic is an exact integer
+/// merge — so results are bit-identical to the generic engine;
+/// tests/sim/engine_equivalence_test.cpp enforces this.
+NetworkResults run_network_fast(const NetworkConfig& cfg,
+                                const Topology& topo,
+                                const simd::InjectParams& inj) {
+  const std::uint32_t ports = topo.ports();
+  const unsigned n = cfg.stages;
+  QueuePool<FastPacket> pool(static_cast<std::size_t>(n) * ports);
+  std::vector<ActiveSet> active(n, ActiveSet(ports));
+
+  std::vector<int> checkpoint_of(n + 1, -1);
+  for (std::size_t i = 0; i < cfg.total_checkpoints.size(); ++i)
+    checkpoint_of[cfg.total_checkpoints[i]] = static_cast<int>(i);
+
+  NetworkResults out;
+  out.stage_wait.resize(n);
+  out.stage_depth.resize(n);
+  out.total_wait.resize(cfg.total_checkpoints.size());
+
+  const std::int64_t total_cycles = cfg.warmup_cycles + cfg.measure_cycles;
+  const auto warmup = static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(cfg.warmup_cycles, 0, total_cycles));
+  constexpr std::int64_t kDepthSampleStride = 64;
+  // Swept on the bench workload (k=4, 6 stages, rho=0.8): lookahead 4
+  // beat 2/8/16, block 64 beat 16/32/128, and prefetching the downstream
+  // tail slot was a net loss (the write misses overlap fine on their own).
+  constexpr std::size_t kLookahead = 4;
+  constexpr std::size_t kBlock = 64;
+
+  struct Move {
+    FastPacket pkt;               // already re-stamped for the next stage
+    std::uint32_t addr = 0;       // port within stage s
+    std::uint32_t next_addr = 0;  // port within stage s+1 (exit: unused)
+  };
+  std::vector<std::uint32_t> inject_dst(ports);
+  std::vector<std::uint32_t> cand;
+  cand.reserve(ports);
+  std::vector<Move> moves;
+  moves.reserve(kBlock);
+
+  for (std::int64_t t = 0; t < total_cycles; ++t) {
+    // Injection: unit service means the per-port service lane is never
+    // drawn, so the batched destinations are the whole decision.
+    simd::inject_batch(inj, t, 0, ports, inject_dst.data());
+    const bool measuring = t >= cfg.warmup_cycles;
+    const auto now = static_cast<std::uint32_t>(t);
+    for (std::uint32_t src = 0; src < ports; ++src) {
+      const std::uint32_t dst = inject_dst[src];
+      if (dst == simd::kNoArrival) continue;
+      const std::uint32_t addr0 = topo.entry_queue(src, dst);
+      FastPacket pkt;
+      pkt.arrival = now;
+      pkt.born = now;
+      pkt.dst = dst;
+      for (unsigned b = 0; b < cfg.bulk; ++b) pool.push(addr0, pkt);
+      active[0].mark_occupied(addr0);
+      if (measuring) out.packets_injected += cfg.bulk;
+    }
+
+    for (unsigned s = 0; s < n; ++s) {
+      ActiveSet& sched = active[s];
+      cand.clear();
+      sched.for_each_candidate([&](std::uint32_t a) { cand.push_back(a); });
+      const std::size_t base = static_cast<std::size_t>(s) * ports;
+      stats::MomentTally& wait = out.stage_wait[s];
+      const int cp = checkpoint_of[s + 1];
+      const bool exit_stage = s + 1 == n;
+      const std::size_t count = cand.size();
+
+      for (std::size_t blk = 0; blk < count; blk += kBlock) {
+        const std::size_t end = std::min(blk + kBlock, count);
+        moves.clear();
+        for (std::size_t i = blk; i < end; ++i) {
+          if (i + kLookahead < count)
+            pool.prefetch_front(base + cand[i + kLookahead]);
+          const std::uint32_t a = cand[i];
+          const FastPacket& head = pool.front(base + a);
+          if (head.arrival > now) continue;  // delivered later this cycle
+          Move mv;
+          mv.addr = a;
+          mv.pkt = head;
+          mv.pkt.arrival = now + 1;
+          if (head.born >= warmup) {
+            const std::int64_t w =
+                static_cast<std::int64_t>(now) - head.arrival;
+            wait.add(w);
+            mv.pkt.total_wait += static_cast<std::int32_t>(w);
+            if (cp >= 0)
+              out.total_wait[static_cast<std::size_t>(cp)].add(
+                  mv.pkt.total_wait);
+            if (exit_stage) ++out.packets_delivered;
+          }
+          if (!exit_stage) mv.next_addr = topo.next_queue(s, a, head.dst);
+          moves.push_back(mv);
+        }
+
+        if (exit_stage) {
+          for (const Move& mv : moves) {
+            const std::size_t q = base + mv.addr;
+            pool.pop(q);
+            if (pool.empty(q)) sched.clear_occupied(mv.addr);
+          }
+        } else {
+          ActiveSet& down = active[s + 1];
+          for (const Move& mv : moves) {
+            const std::size_t q = base + mv.addr;
+            pool.pop(q);
+            if (pool.empty(q)) sched.clear_occupied(mv.addr);
+            pool.push(base + ports + mv.next_addr, mv.pkt);
+            down.mark_occupied(mv.next_addr);
+          }
+        }
+      }
+    }
+
+    // --- Occupancy sampling (same stride and in-flight exclusion) --------
+    if (measuring && t % kDepthSampleStride == 0)
+      for (unsigned s = 0; s < n; ++s)
+        for (std::uint32_t a = 0; a < ports; ++a) {
+          const std::size_t q = static_cast<std::size_t>(s) * ports + a;
+          std::size_t present = pool.size(q);
+          while (present > 0 && pool.at(q, present - 1).arrival > now)
+            --present;
+          out.stage_depth[s].add(static_cast<std::int64_t>(present));
+        }
+  }
+  return out;
+}
+
 }  // namespace
 
 void NetworkResults::merge(const NetworkResults& other) {
@@ -111,6 +283,21 @@ NetworkResults run_network(const NetworkConfig& cfg) {
   detail::validate_hotspot_target(cfg, ports);
   const unsigned n = cfg.stages;
 
+  // Counter-mode (default): per-cycle injections are decided for every
+  // port at once by the batched Philox kernel — draws are addressed by
+  // (cycle, port, site), so the batch is bit-identical to the reference
+  // engine's port-at-a-time evaluation. Legacy mode replays the historic
+  // sequential xoshiro stream.
+  const bool philox = cfg.rng == RngKind::kPhilox;
+  const simd::InjectParams inj = detail::make_inject_params(cfg, ports);
+
+  // The throughput-gate workload and most reproduction-book runs qualify
+  // for the branch-specialized engine; its results are bit-identical to
+  // the generic loop below (the equivalence suite compares all three
+  // pairwise: fast, generic, reference).
+  if (fast_engine_eligible(cfg)) return run_network_fast(cfg, topo, inj);
+
+  std::vector<std::uint32_t> inject_dst(philox ? ports : 0);
   rng::Xoshiro256 gen(cfg.seed);
 
   // Queue id for (stage s, address a): one flat index into the pool and
@@ -155,20 +342,17 @@ NetworkResults run_network(const NetworkConfig& cfg) {
   std::vector<std::int64_t> busy_until(
       sample_busy ? static_cast<std::size_t>(n) * ports : 0, 0);
 
+  const bool unit_service = cfg.service.is_unit();
+
   // One simulated cycle; called with strictly increasing t.
   const auto step = [&](const std::int64_t t) {
     flow.begin_cycle(t);
 
     // --- Injection at the first stage ------------------------------------
-    for (std::uint32_t src = 0; src < ports; ++src) {
-      if (!gen.bernoulli(cfg.p)) continue;
-      std::uint32_t dst;
-      if (cfg.hotspot > 0.0 && gen.bernoulli(cfg.hotspot))
-        dst = cfg.hotspot_target;
-      else if (cfg.q > 0.0 && gen.bernoulli(cfg.q))
-        dst = src;
-      else
-        dst = static_cast<std::uint32_t>(gen.uniform_int(ports));
+    // Shared push body; the service sampler differs per RNG mode.
+    const auto inject_from = [&](std::uint32_t src, std::uint32_t dst,
+                                 auto&& sample_service) {
+      (void)src;
       const std::uint32_t addr0 = topo.entry_queue(src, dst);
       const std::size_t q0 = addr0;  // qid(0, addr0)
       for (unsigned b = 0; b < cfg.bulk; ++b) {
@@ -178,7 +362,7 @@ NetworkResults run_network(const NetworkConfig& cfg) {
         }
         Packet pkt;
         pkt.dst = dst;
-        pkt.service = cfg.service.sample(gen);
+        pkt.service = unit_service ? 1u : sample_service();
         pkt.arrival = t;
         pkt.born = t;
         if (cfg.track_correlations) pkt.corr = corr.allocate();
@@ -187,6 +371,28 @@ NetworkResults run_network(const NetworkConfig& cfg) {
         if (obs_on)
           ob.tally[0].peak = std::max(ob.tally[0].peak, pool.size(q0));
         if (t >= cfg.warmup_cycles) ++out.packets_injected;
+      }
+    };
+
+    if (philox) {
+      simd::inject_batch(inj, t, 0, ports, inject_dst.data());
+      for (std::uint32_t src = 0; src < ports; ++src) {
+        const std::uint32_t dst = inject_dst[src];
+        if (dst == simd::kNoArrival) continue;
+        rng::LaneSeq svc(inj.key, t, src, rng::Site::kService);
+        inject_from(src, dst, [&] { return cfg.service.sample(svc); });
+      }
+    } else {
+      for (std::uint32_t src = 0; src < ports; ++src) {
+        if (!gen.bernoulli(cfg.p)) continue;
+        std::uint32_t dst;
+        if (cfg.hotspot > 0.0 && gen.bernoulli(cfg.hotspot))
+          dst = cfg.hotspot_target;
+        else if (cfg.q > 0.0 && gen.bernoulli(cfg.q))
+          dst = src;
+        else
+          dst = static_cast<std::uint32_t>(gen.uniform_int(ports));
+        inject_from(src, dst, [&] { return cfg.service.sample(gen); });
       }
     }
 
@@ -225,7 +431,7 @@ NetworkResults run_network(const NetworkConfig& cfg) {
         if (obs_on && t >= cfg.warmup_cycles) ++ob.tally[s].starts;
         const bool measured = head.born >= cfg.warmup_cycles;
         if (measured) {
-          out.stage_wait[s].add(static_cast<double>(w));
+          out.stage_wait[s].add(w);
           if (cfg.track_stage_histograms) out.stage_hist[s].add(w);
           head.total_wait += static_cast<std::int32_t>(w);
           if (cfg.track_correlations)
@@ -280,7 +486,7 @@ NetworkResults run_network(const NetworkConfig& cfg) {
           std::size_t present = pool.size(q);
           while (present > 0 && pool.at(q, present - 1).arrival > t)
             --present;
-          out.stage_depth[s].add(static_cast<double>(present));
+          out.stage_depth[s].add(static_cast<std::int64_t>(present));
         }
 
     // --- Telemetry sampling (occupancy histograms, server utilization) ---

@@ -31,9 +31,9 @@
 #include "obs/trace.hpp"
 #include "sim/service_spec.hpp"
 #include "sim/topology.hpp"
-#include "stats/accumulator.hpp"
 #include "stats/covariance.hpp"
 #include "stats/histogram.hpp"
+#include "stats/moment_tally.hpp"
 
 namespace ksw::sim {
 
@@ -70,6 +70,26 @@ enum class FlowControl {
 
 /// Parse a canonical scheme name; throws std::invalid_argument otherwise.
 [[nodiscard]] FlowControl parse_flow_control(const std::string& name);
+
+/// Random-number generation scheme for the simulation engines.
+///   * kPhilox — counter-based Philox4x32-10 streams addressed by
+///     (seed, cycle, port, site); draws are independent of visit order,
+///     which enables SIMD batch sampling and restart of a replicate at
+///     any cycle (the default; see src/rng/philox.hpp and DESIGN.md §8b).
+///   * kXoshiro — the historic sequential xoshiro256** stream, preserved
+///     byte-for-byte for comparison against pre-counter baselines.
+/// The two produce different (equally valid) sample paths, so statistics
+/// match in distribution, not bitwise.
+enum class RngKind {
+  kPhilox,
+  kXoshiro,
+};
+
+/// Canonical names: "philox", "xoshiro".
+[[nodiscard]] const char* to_string(RngKind rng) noexcept;
+
+/// Parse a canonical RNG name; throws std::invalid_argument otherwise.
+[[nodiscard]] RngKind parse_rng_kind(const std::string& name);
 
 /// Telemetry knobs for run_network. Everything here is additive: results
 /// used by the paper-reproduction paths are untouched whether or not
@@ -111,6 +131,11 @@ struct NetworkConfig {
   std::int64_t warmup_cycles = 10'000;
   std::int64_t measure_cycles = 100'000;
   std::uint64_t seed = 1;
+
+  /// Random-stream scheme; kPhilox draws by (cycle, port, site)
+  /// coordinate and is the default, kXoshiro replays the historic
+  /// sequential stream.
+  RngKind rng = RngKind::kPhilox;
 
   /// 0 = infinite queues (the paper's model). Otherwise, a queue holds at
   /// most this many waiting packets: interior transfers block the upstream
@@ -154,10 +179,12 @@ struct NetworkConfig {
 };
 
 struct NetworkResults {
-  /// Per-stage waiting-time accumulators (index 0 = first stage).
-  std::vector<stats::Accumulator> stage_wait;
+  /// Per-stage waiting-time tallies (index 0 = first stage). Exact
+  /// integer moment sums — order-independent, merge-exact, and cheap on
+  /// the hot path (see stats/moment_tally.hpp).
+  std::vector<stats::MomentTally> stage_wait;
   /// Per-stage sampled queue depth (waiting packets only).
-  std::vector<stats::Accumulator> stage_depth;
+  std::vector<stats::MomentTally> stage_depth;
   /// Per-stage waiting-time histograms (only when track_stage_histograms).
   std::vector<stats::IntHistogram> stage_hist;
   /// Histograms of total waiting over the first c stages, one per

@@ -26,6 +26,23 @@ FlowControl parse_flow_control(const std::string& name) {
                               name + "\"");
 }
 
+const char* to_string(RngKind rng) noexcept {
+  switch (rng) {
+    case RngKind::kPhilox:
+      return "philox";
+    case RngKind::kXoshiro:
+      return "xoshiro";
+  }
+  return "?";
+}
+
+RngKind parse_rng_kind(const std::string& name) {
+  if (name == "philox") return RngKind::kPhilox;
+  if (name == "xoshiro") return RngKind::kXoshiro;
+  throw std::invalid_argument("rng: expected philox|xoshiro, got \"" + name +
+                              "\"");
+}
+
 }  // namespace ksw::sim
 
 namespace ksw::sim::detail {

@@ -14,11 +14,29 @@
 
 #include "obs/metrics.hpp"
 #include "sim/network.hpp"
+#include "simd/inject.hpp"
 
 namespace ksw::sim::detail {
 
 /// Reject invalid configs (everything checkable without the topology).
 void validate(const NetworkConfig& cfg);
+
+/// Build the counter-mode injection parameters for a replicate. Shared by
+/// both engines so the thresholds (and therefore the sampled bits) cannot
+/// drift between them. The tiny-probability edge is intentional: a rate
+/// below 2^-33 rounds to threshold 0, which both paths treat as "never".
+[[nodiscard]] inline simd::InjectParams make_inject_params(
+    const NetworkConfig& cfg, std::uint32_t ports) {
+  simd::InjectParams prm;
+  prm.key = rng::philox_key(cfg.seed);
+  prm.thr_arrival = rng::bernoulli_threshold(cfg.p);
+  prm.thr_hotspot =
+      cfg.hotspot > 0.0 ? rng::bernoulli_threshold(cfg.hotspot) : 0;
+  prm.thr_favorite = cfg.q > 0.0 ? rng::bernoulli_threshold(cfg.q) : 0;
+  prm.hotspot_target = cfg.hotspot_target;
+  prm.ports = ports;
+  return prm;
+}
 
 /// Reject hotspot targets outside the port range. Separate from validate()
 /// because the port count comes from the constructed Topology.

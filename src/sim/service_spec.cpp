@@ -1,6 +1,7 @@
 #include "sim/service_spec.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -38,6 +39,30 @@ ServiceSpec ServiceSpec::geometric(double mu) {
   ServiceSpec s(Kind::kGeometric);
   s.mu_ = mu;
   return s;
+}
+
+std::uint32_t ServiceSpec::sample(rng::LaneSeq& seq) const {
+  switch (kind_) {
+    case Kind::kDeterministic:
+      return m_;
+    case Kind::kMultiSize: {
+      const double u = seq.next_unit();
+      for (std::size_t i = 0; i < cumulative_.size(); ++i)
+        if (u < cumulative_[i]) return sizes_[i].cycles;
+      return sizes_.back().cycles;
+    }
+    case Kind::kGeometric: {
+      if (mu_ >= 1.0) return 1;
+      // Inversion: 1 + floor(log(U) / log(1-mu)) over U in (0,1); the
+      // half-open unit draw is never 0 or 1, so no rejection loop.
+      const double v = std::log(seq.next_unit()) / std::log1p(-mu_);
+      const auto clamped = std::min<double>(
+          v, static_cast<double>(std::numeric_limits<std::uint32_t>::max() -
+                                 1u));
+      return 1 + static_cast<std::uint32_t>(clamped);
+    }
+  }
+  return 1;
 }
 
 std::uint32_t ServiceSpec::sample(rng::Xoshiro256& gen) const {

@@ -1,0 +1,33 @@
+#include "simd/inject.hpp"
+
+#include "simd/simd.hpp"
+
+namespace ksw::simd {
+
+namespace detail {
+
+void inject_batch_scalar(const InjectParams& prm, std::int64_t cycle,
+                         std::uint32_t first_port, std::uint32_t count,
+                         std::uint32_t* dst) {
+  for (std::uint32_t i = 0; i < count; ++i)
+    dst[i] = inject_one(prm, cycle, first_port + i);
+}
+
+}  // namespace detail
+
+void inject_batch(const InjectParams& prm, std::int64_t cycle,
+                  std::uint32_t first_port, std::uint32_t count,
+                  std::uint32_t* dst) {
+  switch (active_level()) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Level::kAvx2:
+      detail::inject_batch_avx2(prm, cycle, first_port, count, dst);
+      return;
+#endif
+    default:
+      detail::inject_batch_scalar(prm, cycle, first_port, count, dst);
+      return;
+  }
+}
+
+}  // namespace ksw::simd

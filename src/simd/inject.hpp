@@ -1,0 +1,86 @@
+// Batched counter-mode injection sampling for the network engines.
+//
+// One call decides a whole cycle's worth of per-port injections: for each
+// source port, whether a batch arrives this cycle and, if so, its
+// destination. Because the draws are Philox counter blocks addressed by
+// (cycle, port) — never by visit order — the batch can be evaluated eight
+// ports at a time with AVX2 and still produce exactly the bits the scalar
+// oracle produces one port at a time. inject_one() below IS the contract;
+// every vector kernel must match it draw for draw.
+//
+// Destination semantics (identical to the historic per-port draw order):
+//   lane 0  arrival   — batch arrives iff draw < thr_arrival
+//   lane 1  hotspot   — if hotspot traffic is on and draw < thr_hotspot,
+//                       dst = hotspot_target
+//   lane 2  favorite  — else if favorite traffic is on and
+//                       draw < thr_favorite, dst = the port itself
+//   lane 3  dest      — else dst = (draw * ports) >> 32
+// Non-arrivals are reported as kNoArrival so callers can skip them with a
+// single compare.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/philox.hpp"
+
+namespace ksw::simd {
+
+/// No batch arrived at this port this cycle.
+inline constexpr std::uint32_t kNoArrival = 0xffffffffu;
+
+/// Cycle-invariant injection parameters (build once per run).
+struct InjectParams {
+  rng::Philox4x32::Key key{};
+  std::uint64_t thr_arrival = 0;   ///< bernoulli_threshold(p)
+  std::uint64_t thr_hotspot = 0;   ///< bernoulli_threshold(hotspot), 0 = off
+  std::uint64_t thr_favorite = 0;  ///< bernoulli_threshold(q), 0 = off
+  std::uint32_t hotspot_target = 0;
+  std::uint32_t ports = 1;  ///< destination range for the uniform draw
+};
+
+/// The scalar oracle: the injection decision for one (cycle, port).
+/// Returns the destination, or kNoArrival. Also used directly by the
+/// reference engine, so the optimized engine's batched path is checked
+/// against it end-to-end by the equivalence suite.
+[[nodiscard]] inline std::uint32_t inject_one(const InjectParams& prm,
+                                              std::int64_t cycle,
+                                              std::uint32_t port) noexcept {
+  const auto block = rng::Philox4x32::block(
+      rng::philox_counter(cycle, port, rng::Site::kInject), prm.key);
+  if (static_cast<std::uint64_t>(block[rng::kLaneArrival]) >=
+      prm.thr_arrival)
+    return kNoArrival;
+  if (prm.thr_hotspot != 0 &&
+      static_cast<std::uint64_t>(block[rng::kLaneHotspot]) <
+          prm.thr_hotspot)
+    return prm.hotspot_target;
+  if (prm.thr_favorite != 0 &&
+      static_cast<std::uint64_t>(block[rng::kLaneFavorite]) <
+          prm.thr_favorite)
+    return port;
+  return rng::uniform_below(block[rng::kLaneDest], prm.ports);
+}
+
+/// Fill dst[0..count) with the injection decision for ports
+/// [first_port, first_port + count) at `cycle`, using the widest
+/// instruction set active_level() allows. Bit-identical to calling
+/// inject_one per port.
+void inject_batch(const InjectParams& prm, std::int64_t cycle,
+                  std::uint32_t first_port, std::uint32_t count,
+                  std::uint32_t* dst);
+
+namespace detail {
+/// Scalar batch loop (oracle); exposed for tests and dispatch.
+void inject_batch_scalar(const InjectParams& prm, std::int64_t cycle,
+                         std::uint32_t first_port, std::uint32_t count,
+                         std::uint32_t* dst);
+#if defined(__x86_64__) || defined(__i386__)
+/// AVX2 batch kernel (function-level target attribute; call only when
+/// simd::cpu_supports(Level::kAvx2)).
+void inject_batch_avx2(const InjectParams& prm, std::int64_t cycle,
+                       std::uint32_t first_port, std::uint32_t count,
+                       std::uint32_t* dst);
+#endif
+}  // namespace detail
+
+}  // namespace ksw::simd

@@ -1,0 +1,148 @@
+// AVX2 injection kernel: eight Philox4x32-10 blocks per iteration, held
+// in structure-of-arrays form (one __m256i per counter word, each lane a
+// different port). Compiled with a function-level target attribute so the
+// translation unit needs no special flags and the binary stays runnable
+// on non-AVX2 machines (dispatch happens in inject.cpp).
+//
+// Every step mirrors the scalar oracle exactly:
+//   * mullo / mulhi of 32-bit lanes reproduce the 64-bit scalar products'
+//     low and high halves;
+//   * unsigned compares are signed compares after flipping the sign bit;
+//   * the hotspot / favorite / uniform destination selection is a pair of
+//     blends driven by the same threshold compares the scalar path
+//     branches on.
+// The tail (count % 8 ports) runs through inject_one, which is already
+// the oracle, so the whole batch is bit-identical by construction.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "simd/inject.hpp"
+
+namespace ksw::simd::detail {
+
+namespace {
+
+/// Low 32 bits of the lane-wise 64-bit product x * m (m broadcast).
+__attribute__((target("avx2"))) inline __m256i mullo32(__m256i x,
+                                                       __m256i m) {
+  return _mm256_mullo_epi32(x, m);
+}
+
+/// High 32 bits of the lane-wise 64-bit product x * m (m broadcast).
+/// Even lanes via a 64-bit widening multiply shifted down; odd lanes via
+/// the same multiply on the odd halves, whose high words already sit in
+/// the odd positions — a blend stitches them together.
+__attribute__((target("avx2"))) inline __m256i mulhi32(__m256i x,
+                                                       __m256i m) {
+  const __m256i even = _mm256_srli_epi64(_mm256_mul_epu32(x, m), 32);
+  const __m256i odd = _mm256_mul_epu32(_mm256_srli_epi64(x, 32), m);
+  return _mm256_blend_epi32(even, odd, 0b10101010);
+}
+
+/// Lane mask for (unsigned)a < (unsigned)b: flip sign bits, signed
+/// compare b > a.
+__attribute__((target("avx2"))) inline __m256i cmplt_u32(__m256i a,
+                                                         __m256i b) {
+  const __m256i sign = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  return _mm256_cmpgt_epi32(_mm256_xor_si256(b, sign),
+                            _mm256_xor_si256(a, sign));
+}
+
+/// Broadcast a bernoulli threshold as a 32-bit compare operand. Returns
+/// false in *always when the threshold saturates (p >= 1 maps to 2^32,
+/// which no 32-bit draw can reach via cmplt, so it is handled as
+/// "every lane passes").
+__attribute__((target("avx2"))) inline __m256i threshold32(
+    std::uint64_t thr, bool* always) {
+  *always = thr > 0xffffffffull;
+  return _mm256_set1_epi32(
+      static_cast<int>(static_cast<std::uint32_t>(*always ? 0 : thr)));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) void inject_batch_avx2(
+    const InjectParams& prm, std::int64_t cycle, std::uint32_t first_port,
+    std::uint32_t count, std::uint32_t* dst) {
+  const auto c = static_cast<std::uint64_t>(cycle);
+  const __m256i c2_init =
+      _mm256_set1_epi32(static_cast<int>(static_cast<std::uint32_t>(c)));
+  const __m256i c3_init = _mm256_set1_epi32(static_cast<int>(
+      (static_cast<std::uint32_t>(c >> 32) & 0x00ffffffu) |
+      (static_cast<std::uint32_t>(rng::Site::kInject) << 24)));
+  const __m256i key0_init = _mm256_set1_epi32(static_cast<int>(prm.key[0]));
+  const __m256i key1_init = _mm256_set1_epi32(static_cast<int>(prm.key[1]));
+  const __m256i mul0 =
+      _mm256_set1_epi32(static_cast<int>(rng::Philox4x32::kMul0));
+  const __m256i mul1 =
+      _mm256_set1_epi32(static_cast<int>(rng::Philox4x32::kMul1));
+  const __m256i weyl0 =
+      _mm256_set1_epi32(static_cast<int>(rng::Philox4x32::kWeyl0));
+  const __m256i weyl1 =
+      _mm256_set1_epi32(static_cast<int>(rng::Philox4x32::kWeyl1));
+
+  bool arrival_always = false, hotspot_always = false,
+       favorite_always = false;
+  const __m256i thr_arrival = threshold32(prm.thr_arrival, &arrival_always);
+  const __m256i thr_hotspot = threshold32(prm.thr_hotspot, &hotspot_always);
+  const __m256i thr_favorite =
+      threshold32(prm.thr_favorite, &favorite_always);
+  const __m256i ports = _mm256_set1_epi32(static_cast<int>(prm.ports));
+  const __m256i hotspot_dst =
+      _mm256_set1_epi32(static_cast<int>(prm.hotspot_target));
+  const __m256i no_arrival =
+      _mm256_set1_epi32(static_cast<int>(kNoArrival));
+  const __m256i lane_iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i port = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(first_port + i)), lane_iota);
+
+    // Philox4x32-10 on eight blocks: counter = {0, port, cycle, site}.
+    __m256i x0 = _mm256_setzero_si256();
+    __m256i x1 = port;
+    __m256i x2 = c2_init;
+    __m256i x3 = c3_init;
+    __m256i k0 = key0_init;
+    __m256i k1 = key1_init;
+    for (int round = 0; round < 10; ++round) {
+      const __m256i lo0 = mullo32(x0, mul0);
+      const __m256i hi0 = mulhi32(x0, mul0);
+      const __m256i lo1 = mullo32(x2, mul1);
+      const __m256i hi1 = mulhi32(x2, mul1);
+      x0 = _mm256_xor_si256(_mm256_xor_si256(hi1, x1), k0);
+      x1 = lo1;
+      x2 = _mm256_xor_si256(_mm256_xor_si256(hi0, x3), k1);
+      x3 = lo0;
+      k0 = _mm256_add_epi32(k0, weyl0);
+      k1 = _mm256_add_epi32(k1, weyl1);
+    }
+
+    // Destination selection, innermost default outward: uniform draw,
+    // overridden by favorite, overridden by hotspot, masked by arrival.
+    __m256i out = mulhi32(x3, ports);
+    if (prm.thr_favorite != 0) {
+      const __m256i take = favorite_always ? _mm256_set1_epi32(-1)
+                                           : cmplt_u32(x2, thr_favorite);
+      out = _mm256_blendv_epi8(out, port, take);
+    }
+    if (prm.thr_hotspot != 0) {
+      const __m256i take = hotspot_always ? _mm256_set1_epi32(-1)
+                                          : cmplt_u32(x1, thr_hotspot);
+      out = _mm256_blendv_epi8(out, hotspot_dst, take);
+    }
+    if (!arrival_always) {
+      const __m256i arrived = cmplt_u32(x0, thr_arrival);
+      out = _mm256_blendv_epi8(no_arrival, out, arrived);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), out);
+  }
+
+  for (; i < count; ++i) dst[i] = inject_one(prm, cycle, first_port + i);
+}
+
+}  // namespace ksw::simd::detail
+
+#endif  // x86

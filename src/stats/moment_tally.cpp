@@ -1,0 +1,22 @@
+#include "stats/moment_tally.hpp"
+
+#include <cmath>
+
+namespace ksw::stats {
+
+double MomentTally::stddev() const noexcept { return std::sqrt(variance()); }
+
+double MomentTally::skewness() const noexcept {
+  if (n_ < 2) return 0.0;
+  const __int128_t vnum = var_numerator();
+  if (vnum <= 0) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double mu = static_cast<double>(s1_) / n;
+  const double r2 = static_cast<double>(s2_) / n;  // E[x^2]
+  const double r3 = static_cast<double>(s3_) / n;  // E[x^3]
+  const double m2 = static_cast<double>(vnum) / (n * n);
+  const double m3 = r3 - 3.0 * mu * r2 + 2.0 * mu * mu * mu;
+  return m3 / std::pow(m2, 1.5);
+}
+
+}  // namespace ksw::stats

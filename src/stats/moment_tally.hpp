@@ -1,0 +1,145 @@
+// Exact integer moment accumulation for the simulator hot path.
+//
+// Every observation the cycle engines record — waiting times, sampled
+// queue depths — is a small non-negative integer, so instead of Welford
+// updates (one FP divide per add) the tally keeps exact power sums
+//
+//   n, s1 = sum x, s2 = sum x^2, s3 = sum x^3
+//
+// in 64/128-bit integers. Adds are a handful of integer ops, merges are
+// plain additions (exactly associative and commutative, so replicate
+// reduction order can never change a result), and the state serializes
+// as decimal integers — no hexfloat needed for the checkpoint journal's
+// bit-exact round-trip (see sweep/checkpoint.cpp).
+//
+// Range: exact while |x| <= 2^20 and n <= 2^40 (s3 then stays under
+// 2^101); simulator waits and depths are orders of magnitude below both
+// bounds. The read API mirrors stats::Accumulator so consumers are
+// type-agnostic; derived central moments are evaluated in double from the
+// exact sums, which for the small means involved is at least as accurate
+// as the Welford path it replaces.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ksw::stats {
+
+class MomentTally {
+ public:
+  /// Exact serializable state (checkpoint journal shards).
+  struct Raw {
+    std::uint64_t n = 0;
+    std::int64_t s1 = 0;
+    __uint128_t s2 = 0;
+    __int128_t s3 = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+  };
+
+  MomentTally() = default;
+
+  /// Add one integer observation.
+  void add(std::int64_t x) noexcept {
+    ++n_;
+    s1_ += x;
+    const std::int64_t sq = x * x;  // exact: |x| <= 2^20
+    s2_ += static_cast<__uint128_t>(static_cast<std::uint64_t>(sq));
+    s3_ += static_cast<__int128_t>(sq) * x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Combine with another tally; exact, so order never matters.
+  void merge(const MomentTally& other) noexcept {
+    n_ += other.n_;
+    s1_ += other.s1_;
+    s2_ += other.s2_;
+    s3_ += other.s3_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+  [[nodiscard]] double mean() const noexcept {
+    return n_ == 0 ? 0.0
+                   : static_cast<double>(s1_) / static_cast<double>(n_);
+  }
+
+  /// Population variance (divide by n); the numerator n*s2 - s1^2 is
+  /// evaluated exactly in 128-bit integers before the single divide.
+  [[nodiscard]] double variance() const noexcept {
+    if (n_ < 1) return 0.0;
+    const double d = static_cast<double>(var_numerator());
+    const double n = static_cast<double>(n_);
+    return d / (n * n);
+  }
+
+  /// Unbiased sample variance (divide by n-1); 0 when n < 2.
+  [[nodiscard]] double sample_variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    const double d = static_cast<double>(var_numerator());
+    return d / (static_cast<double>(n_) * static_cast<double>(n_ - 1));
+  }
+
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standardized skewness E[(x-mu)^3] / sigma^3; 0 when undefined.
+  /// Central moments come from the exact sums, evaluated in double (the
+  /// all-integer numerator n^2 s3 - 3n s1 s2 + 2 s1^3 can exceed 128
+  /// bits for long merged streams).
+  [[nodiscard]] double skewness() const noexcept;
+
+  /// Smallest observation; +inf when empty (mirrors stats::Accumulator).
+  [[nodiscard]] double min() const noexcept {
+    return n_ == 0 ? std::numeric_limits<double>::infinity()
+                   : static_cast<double>(min_);
+  }
+
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept {
+    return n_ == 0 ? -std::numeric_limits<double>::infinity()
+                   : static_cast<double>(max_);
+  }
+
+  /// Sum of all observations (exact; integer sums fit a double well
+  /// within the documented range).
+  [[nodiscard]] double sum() const noexcept {
+    return static_cast<double>(s1_);
+  }
+
+  void reset() noexcept { *this = MomentTally{}; }
+
+  [[nodiscard]] Raw raw() const noexcept {
+    return {n_, s1_, s2_, s3_, min_, max_};
+  }
+
+  [[nodiscard]] static MomentTally from_raw(const Raw& r) noexcept {
+    MomentTally t;
+    t.n_ = r.n;
+    t.s1_ = r.s1;
+    t.s2_ = r.s2;
+    t.s3_ = r.s3;
+    if (r.n != 0) {
+      t.min_ = r.min;
+      t.max_ = r.max;
+    }
+    return t;
+  }
+
+ private:
+  [[nodiscard]] __int128_t var_numerator() const noexcept {
+    return static_cast<__int128_t>(n_) * static_cast<__int128_t>(s2_) -
+           static_cast<__int128_t>(s1_) * static_cast<__int128_t>(s1_);
+  }
+
+  std::uint64_t n_ = 0;
+  std::int64_t s1_ = 0;
+  __uint128_t s2_ = 0;
+  __int128_t s3_ = 0;
+  std::int64_t min_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_ = std::numeric_limits<std::int64_t>::min();
+};
+
+}  // namespace ksw::stats

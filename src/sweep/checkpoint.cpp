@@ -14,7 +14,10 @@ namespace ksw::sweep {
 
 namespace {
 
-constexpr const char* kSchema = "ksw.checkpoint/v1";
+constexpr const char* kSchema = "ksw.checkpoint/v2";
+/// v1 journals carry the same point records and no shards; loading one
+/// just means a resumed run recomputes any interrupted point wholesale.
+constexpr const char* kSchemaV1 = "ksw.checkpoint/v1";
 
 /// Bit-exact double encoding. io::Json prints numbers with 12 significant
 /// digits — fine for reports, fatal for a journal whose whole point is
@@ -116,6 +119,199 @@ PointResult result_from_json(const io::Json& j) {
   return r;
 }
 
+// ---- Replicate shards ------------------------------------------------
+//
+// Everything in a shard is exact integer state, so the wire format is
+// decimal strings (including the 128-bit moment power sums) — no hexfloat
+// needed, and the merge on resume is the same exact integer addition an
+// uninterrupted run performs.
+
+std::string u128_to_string(__uint128_t v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v != 0) {
+    out.insert(out.begin(),
+               static_cast<char>('0' + static_cast<unsigned>(v % 10)));
+    v /= 10;
+  }
+  return out;
+}
+
+std::string i128_to_string(__int128_t v) {
+  if (v < 0) return "-" + u128_to_string(static_cast<__uint128_t>(-v));
+  return u128_to_string(static_cast<__uint128_t>(v));
+}
+
+__uint128_t u128_from_string(const std::string& text, const char* what) {
+  if (text.empty())
+    throw io_error(std::string("checkpoint: empty ") + what);
+  __uint128_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9')
+      throw io_error(std::string("checkpoint: cannot parse ") + what + " '" +
+                     text + "'");
+    v = v * 10 + static_cast<unsigned>(c - '0');
+  }
+  return v;
+}
+
+__int128_t i128_from_string(const std::string& text, const char* what) {
+  if (!text.empty() && text.front() == '-')
+    return -static_cast<__int128_t>(u128_from_string(text.substr(1), what));
+  return static_cast<__int128_t>(u128_from_string(text, what));
+}
+
+std::uint64_t u64_from_json(const io::Json& j, const char* what) {
+  if (!j.is_string())
+    throw io_error(std::string("checkpoint: ") + what +
+                   " must be a decimal string");
+  try {
+    return std::stoull(j.as_string());
+  } catch (const std::exception&) {
+    throw io_error(std::string("checkpoint: cannot parse ") + what + " '" +
+                   j.as_string() + "'");
+  }
+}
+
+std::int64_t i64_from_json(const io::Json& j, const char* what) {
+  if (!j.is_string())
+    throw io_error(std::string("checkpoint: ") + what +
+                   " must be a decimal string");
+  try {
+    return std::stoll(j.as_string());
+  } catch (const std::exception&) {
+    throw io_error(std::string("checkpoint: cannot parse ") + what + " '" +
+                   j.as_string() + "'");
+  }
+}
+
+io::Json tally_to_json(const stats::MomentTally& t) {
+  const stats::MomentTally::Raw raw = t.raw();
+  io::Json j = io::Json::object();
+  j.set("n", std::to_string(raw.n));
+  j.set("s1", std::to_string(raw.s1));
+  j.set("s2", u128_to_string(raw.s2));
+  j.set("s3", i128_to_string(raw.s3));
+  j.set("min", std::to_string(raw.min));
+  j.set("max", std::to_string(raw.max));
+  return j;
+}
+
+stats::MomentTally tally_from_json(const io::Json& j) {
+  stats::MomentTally::Raw raw;
+  raw.n = u64_from_json(j.at("n"), "tally n");
+  raw.s1 = i64_from_json(j.at("s1"), "tally s1");
+  raw.s2 = u128_from_string(j.at("s2").as_string(), "tally s2");
+  raw.s3 = i128_from_string(j.at("s3").as_string(), "tally s3");
+  raw.min = i64_from_json(j.at("min"), "tally min");
+  raw.max = i64_from_json(j.at("max"), "tally max");
+  return stats::MomentTally::from_raw(raw);
+}
+
+/// Sparse [value, count] pairs; exact and compact for the long-tailed
+/// waiting-time tallies.
+io::Json hist_to_json(const stats::IntHistogram& h) {
+  io::Json j = io::Json::array();
+  for (std::int64_t v = 0; v <= h.max_value(); ++v) {
+    const std::uint64_t count = h.count(v);
+    if (count == 0) continue;
+    io::Json pair = io::Json::array();
+    pair.push_back(std::to_string(v));
+    pair.push_back(std::to_string(count));
+    j.push_back(std::move(pair));
+  }
+  return j;
+}
+
+stats::IntHistogram hist_from_json(const io::Json& j) {
+  stats::IntHistogram h;
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    const io::Json& pair = j.at(i);
+    if (pair.size() != 2)
+      throw io_error("checkpoint: histogram entry must be [value, count]");
+    h.add(i64_from_json(pair.at(0), "histogram value"),
+          u64_from_json(pair.at(1), "histogram count"));
+  }
+  return h;
+}
+
+io::Json tally_vec_to_json(const std::vector<stats::MomentTally>& v) {
+  io::Json j = io::Json::array();
+  for (const stats::MomentTally& t : v) j.push_back(tally_to_json(t));
+  return j;
+}
+
+std::vector<stats::MomentTally> tally_vec_from_json(const io::Json& j) {
+  std::vector<stats::MomentTally> v;
+  for (std::size_t i = 0; i < j.size(); ++i)
+    v.push_back(tally_from_json(j.at(i)));
+  return v;
+}
+
+io::Json network_shard_to_json(const sim::NetworkResults& r) {
+  io::Json j = io::Json::object();
+  j.set("stage_wait", tally_vec_to_json(r.stage_wait));
+  j.set("stage_depth", tally_vec_to_json(r.stage_depth));
+  io::Json totals = io::Json::array();
+  for (const stats::IntHistogram& h : r.total_wait)
+    totals.push_back(hist_to_json(h));
+  j.set("total_wait", std::move(totals));
+  j.set("injected", std::to_string(r.packets_injected));
+  j.set("delivered", std::to_string(r.packets_delivered));
+  j.set("dropped", std::to_string(r.packets_dropped));
+  return j;
+}
+
+sim::NetworkResults network_shard_from_json(const io::Json& j) {
+  sim::NetworkResults r;
+  r.stage_wait = tally_vec_from_json(j.at("stage_wait"));
+  r.stage_depth = tally_vec_from_json(j.at("stage_depth"));
+  const io::Json& totals = j.at("total_wait");
+  for (std::size_t i = 0; i < totals.size(); ++i)
+    r.total_wait.push_back(hist_from_json(totals.at(i)));
+  r.packets_injected = u64_from_json(j.at("injected"), "injected");
+  r.packets_delivered = u64_from_json(j.at("delivered"), "delivered");
+  r.packets_dropped = u64_from_json(j.at("dropped"), "dropped");
+  return r;
+}
+
+io::Json first_stage_shard_to_json(const sim::FirstStageResults& r) {
+  io::Json j = io::Json::object();
+  j.set("waiting", tally_to_json(r.waiting));
+  j.set("histogram", hist_to_json(r.histogram));
+  j.set("queue_depth", tally_to_json(r.queue_depth));
+  j.set("messages", std::to_string(r.messages));
+  return j;
+}
+
+sim::FirstStageResults first_stage_shard_from_json(const io::Json& j) {
+  sim::FirstStageResults r;
+  r.waiting = tally_from_json(j.at("waiting"));
+  r.histogram = hist_from_json(j.at("histogram"));
+  r.queue_depth = tally_from_json(j.at("queue_depth"));
+  r.messages = u64_from_json(j.at("messages"), "messages");
+  return r;
+}
+
+io::Json shard_key_to_json(const Journal::ShardKey& key, const char* kind) {
+  io::Json j = io::Json::object();
+  j.set("kind", kind);
+  j.set("section", key.section_id);
+  j.set("index", static_cast<std::int64_t>(key.point_index));
+  j.set("run", key.run);
+  j.set("replicate", static_cast<std::int64_t>(key.replicate));
+  return j;
+}
+
+Journal::ShardKey shard_key_from_json(const io::Json& j) {
+  Journal::ShardKey key;
+  key.section_id = j.at("section").as_string();
+  key.point_index = static_cast<std::size_t>(j.at("index").as_int());
+  key.run = j.at("run").as_string();
+  key.replicate = static_cast<std::size_t>(j.at("replicate").as_int());
+  return key;
+}
+
 }  // namespace
 
 std::string manifest_fingerprint(const std::string& raw_text) {
@@ -155,7 +351,7 @@ Journal Journal::load_or_create(std::string path, std::string fingerprint) {
     try {
       if (!saw_header) {
         const std::string schema = doc.at("schema").as_string();
-        if (schema != kSchema)
+        if (schema != kSchema && schema != kSchemaV1)
           throw io_error("checkpoint: " + path + ": unknown schema '" +
                          schema + "' (expected " + kSchema + ")");
         const std::string recorded = doc.at("fingerprint").as_string();
@@ -166,6 +362,26 @@ Journal Journal::load_or_create(std::string path, std::string fingerprint) {
               "); the manifest changed since the interrupted run — delete "
               "the journal or rerun without --resume");
         saw_header = true;
+        continue;
+      }
+      if (doc.contains("shard")) {
+        const io::Json& shard = doc.at("shard");
+        const std::string kind = shard.at("kind").as_string();
+        if (kind == "network") {
+          NetworkShard s;
+          s.key = shard_key_from_json(shard);
+          s.results = network_shard_from_json(shard.at("data"));
+          journal.network_shards_.push_back(std::move(s));
+        } else if (kind == "first_stage") {
+          FirstStageShard s;
+          s.key = shard_key_from_json(shard);
+          s.results = first_stage_shard_from_json(shard.at("data"));
+          journal.first_stage_shards_.push_back(std::move(s));
+        } else {
+          throw io_error("checkpoint: " + path + ":" +
+                         std::to_string(line_no) + ": unknown shard kind '" +
+                         kind + "'");
+        }
         continue;
       }
       Entry entry;
@@ -199,8 +415,70 @@ void Journal::record(const std::string& section_id, std::size_t point_index,
   entry.section_id = section_id;
   entry.point_index = point_index;
   entry.result = result;
+  const std::lock_guard<std::mutex> lock(*mutex_);
   entries_.push_back(std::move(entry));
+  prune_shards_locked(section_id, point_index);
   io::atomic_write_file(path_, serialize());
+}
+
+void Journal::prune_shards_locked(const std::string& section_id,
+                                  std::size_t point_index) {
+  const auto stale = [&](const ShardKey& key) {
+    return key.point_index == point_index && key.section_id == section_id;
+  };
+  std::erase_if(network_shards_,
+                [&](const NetworkShard& s) { return stale(s.key); });
+  std::erase_if(first_stage_shards_,
+                [&](const FirstStageShard& s) { return stale(s.key); });
+}
+
+bool Journal::shardable(const sim::NetworkResults& r) noexcept {
+  return r.stage_hist.empty() && !r.stage_covariance.has_value() &&
+         r.metrics.empty() && r.convergence.empty();
+}
+
+void Journal::record_shard(const ShardKey& key, const sim::NetworkResults& r) {
+  if (!shardable(r)) return;
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  network_shards_.push_back(NetworkShard{key, r});
+  io::atomic_write_file(path_, serialize());
+}
+
+void Journal::record_shard(const ShardKey& key,
+                           const sim::FirstStageResults& r) {
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  first_stage_shards_.push_back(FirstStageShard{key, r});
+  io::atomic_write_file(path_, serialize());
+}
+
+namespace {
+
+bool same_key(const Journal::ShardKey& a, const Journal::ShardKey& b) {
+  return a.point_index == b.point_index && a.replicate == b.replicate &&
+         a.section_id == b.section_id && a.run == b.run;
+}
+
+}  // namespace
+
+std::optional<sim::NetworkResults> Journal::find_network_shard(
+    const ShardKey& key) const {
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  for (const NetworkShard& s : network_shards_)
+    if (same_key(s.key, key)) return s.results;
+  return std::nullopt;
+}
+
+std::optional<sim::FirstStageResults> Journal::find_first_stage_shard(
+    const ShardKey& key) const {
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  for (const FirstStageShard& s : first_stage_shards_)
+    if (same_key(s.key, key)) return s.results;
+  return std::nullopt;
+}
+
+std::size_t Journal::shard_count() const {
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  return network_shards_.size() + first_stage_shards_.size();
 }
 
 std::string Journal::serialize() const {
@@ -217,6 +495,22 @@ std::string Journal::serialize() const {
     line.set("section", e.section_id);
     line.set("index", static_cast<std::int64_t>(e.point_index));
     line.set("result", result_to_json(e.result));
+    line.write(os);
+    os << '\n';
+  }
+  for (const NetworkShard& s : network_shards_) {
+    io::Json shard = shard_key_to_json(s.key, "network");
+    shard.set("data", network_shard_to_json(s.results));
+    io::Json line = io::Json::object();
+    line.set("shard", std::move(shard));
+    line.write(os);
+    os << '\n';
+  }
+  for (const FirstStageShard& s : first_stage_shards_) {
+    io::Json shard = shard_key_to_json(s.key, "first_stage");
+    shard.set("data", first_stage_shard_to_json(s.results));
+    io::Json line = io::Json::object();
+    line.set("shard", std::move(shard));
     line.write(os);
     os << '\n';
   }

@@ -113,9 +113,28 @@ Cell make_cell(std::string metric, double analytic, double simulated,
   return cell;
 }
 
+/// Per-point context threaded into the replicate fans: cancellation plus
+/// the optional journal for replicate-shard reuse and recording. With a
+/// journal attached, each completed replicate is persisted as a shard and
+/// each already-sharded replicate is replayed instead of simulated — safe
+/// because replicate streams are pure functions of (seed, replicate index)
+/// and the merges are exact integer sums, so a resumed point is
+/// bit-identical however its replicates were obtained.
+struct PointCtx {
+  const par::CancelToken* cancel = nullptr;
+  Journal* journal = nullptr;
+  const std::string* section_id = nullptr;
+  std::size_t point_index = 0;
+
+  [[nodiscard]] Journal::ShardKey shard_key(const std::string& run,
+                                            std::size_t replicate) const {
+    return Journal::ShardKey{*section_id, point_index, run, replicate};
+  }
+};
+
 PointResult run_first_stage_point(const Section& section, const Point& pt,
                                   par::ThreadPool& pool,
-                                  const par::CancelToken* cancel) {
+                                  const PointCtx& ctx) {
   sim::FirstStageConfig cfg;
   cfg.k = pt.k;
   cfg.s = pt.s != 0 ? pt.s : pt.k;
@@ -132,12 +151,22 @@ PointResult run_first_stage_point(const Section& section, const Point& pt,
       pool, replicates,
       [&](std::size_t i) {
         fault::maybe_fail("replicate.throw");
+        fault::maybe_delay("replicate.slow");
+        if (ctx.journal != nullptr) {
+          if (auto shard =
+                  ctx.journal->find_first_stage_shard(ctx.shard_key("fs", i))) {
+            parts[i] = std::move(*shard);
+            return;
+          }
+        }
         sim::FirstStageConfig rep = cfg;
         rep.seed = sim::replicate_seed(section.budget.seed,
                                        static_cast<unsigned>(i));
         parts[i] = sim::run_first_stage(rep);
+        if (ctx.journal != nullptr)
+          ctx.journal->record_shard(ctx.shard_key("fs", i), parts[i]);
       },
-      cancel);
+      ctx.cancel);
   sim::FirstStageResults merged = parts[0];
   std::vector<double> means(replicates), vars(replicates);
   means[0] = parts[0].waiting.mean();
@@ -195,20 +224,30 @@ sim::NetworkConfig network_config(const Section& section, const Point& pt) {
 
 NetworkRun run_network_replicates(const sim::NetworkConfig& cfg,
                                   const RunBudget& budget,
-                                  par::ThreadPool& pool,
-                                  const par::CancelToken* cancel) {
+                                  par::ThreadPool& pool, const PointCtx& ctx,
+                                  const std::string& run_tag) {
   NetworkRun run;
   run.parts.resize(budget.replicates);
   par::parallel_for_chunks(
       pool, budget.replicates,
       [&](std::size_t i) {
         fault::maybe_fail("replicate.throw");
+        fault::maybe_delay("replicate.slow");
+        if (ctx.journal != nullptr) {
+          if (auto shard =
+                  ctx.journal->find_network_shard(ctx.shard_key(run_tag, i))) {
+            run.parts[i] = std::move(*shard);
+            return;
+          }
+        }
         sim::NetworkConfig rep = cfg;
         rep.seed = sim::replicate_seed(budget.seed,
                                        static_cast<unsigned>(i));
         run.parts[i] = sim::run_network(rep);
+        if (ctx.journal != nullptr)
+          ctx.journal->record_shard(ctx.shard_key(run_tag, i), run.parts[i]);
       },
-      cancel);
+      ctx.cancel);
   run.merged = run.parts[0];
   for (std::size_t i = 1; i < run.parts.size(); ++i)
     run.merged.merge(run.parts[i]);
@@ -218,9 +257,10 @@ NetworkRun run_network_replicates(const sim::NetworkConfig& cfg,
 PointResult run_stage_convergence_point(const Section& section,
                                         const Point& pt,
                                         par::ThreadPool& pool,
-                                        const par::CancelToken* cancel) {
+                                        const PointCtx& ctx) {
   const NetworkRun run = run_network_replicates(network_config(section, pt),
-                                                section.budget, pool, cancel);
+                                                section.budget, pool, ctx,
+                                                "net");
   const core::LaterStages ls(analytic_traffic(pt));
   const double level = section.budget.ci_level;
 
@@ -248,9 +288,10 @@ PointResult run_stage_convergence_point(const Section& section,
 
 PointResult run_total_delay_point(const Section& section, const Point& pt,
                                   par::ThreadPool& pool,
-                                  const par::CancelToken* cancel) {
+                                  const PointCtx& ctx) {
   const NetworkRun run = run_network_replicates(network_config(section, pt),
-                                                section.budget, pool, cancel);
+                                                section.budget, pool, ctx,
+                                                "net");
   const core::LaterStages ls(analytic_traffic(pt));
   const double level = section.budget.ci_level;
 
@@ -301,10 +342,10 @@ PointResult run_total_delay_point(const Section& section, const Point& pt,
 /// itself against eq. 12.
 PointResult run_finite_buffer_point(const Section& section, const Point& pt,
                                     par::ThreadPool& pool,
-                                    const par::CancelToken* cancel) {
+                                    const PointCtx& ctx) {
   const sim::NetworkConfig base = network_config(section, pt);
   const NetworkRun oracle =
-      run_network_replicates(base, section.budget, pool, cancel);
+      run_network_replicates(base, section.budget, pool, ctx, "oracle");
   const double level = section.budget.ci_level;
   const unsigned last = section.stages - 1;
 
@@ -331,8 +372,8 @@ PointResult run_finite_buffer_point(const Section& section, const Point& pt,
     cfg.flow = sim::parse_flow_control(section.flow);
     if (cfg.flow == sim::FlowControl::kCredit)
       cfg.credit_latency = section.credit_latency;
-    const NetworkRun run =
-        run_network_replicates(cfg, section.budget, pool, cancel);
+    const NetworkRun run = run_network_replicates(
+        cfg, section.budget, pool, ctx, "depth=" + std::to_string(depth));
     const bool gate = d + 1 == section.depths.size();
     const std::string prefix = "depth=" + std::to_string(depth) + " ";
 
@@ -361,19 +402,18 @@ PointResult run_finite_buffer_point(const Section& section, const Point& pt,
 }
 
 PointResult run_point(const Section& section, const Point& pt,
-                      par::ThreadPool& pool,
-                      const par::CancelToken* cancel) {
+                      par::ThreadPool& pool, const PointCtx& ctx) {
   switch (section.kind) {
     case SectionKind::kStageConvergence:
-      return run_stage_convergence_point(section, pt, pool, cancel);
+      return run_stage_convergence_point(section, pt, pool, ctx);
     case SectionKind::kTotalDelay:
-      return run_total_delay_point(section, pt, pool, cancel);
+      return run_total_delay_point(section, pt, pool, ctx);
     case SectionKind::kFiniteBuffer:
-      return run_finite_buffer_point(section, pt, pool, cancel);
+      return run_finite_buffer_point(section, pt, pool, ctx);
     case SectionKind::kFirstStage:
       break;
   }
-  return run_first_stage_point(section, pt, pool, cancel);
+  return run_first_stage_point(section, pt, pool, ctx);
 }
 
 /// Stable trace id for a grid point (or, with index npos, a section):
@@ -426,11 +466,21 @@ SectionResult run_section_with(const Section& section, par::ThreadPool& pool,
     // deadline and kill/resume paths can be exercised on a fast machine.
     fault::maybe_delay("point.slow");
 
+    PointCtx ctx;
+    ctx.cancel = options.cancel;
+    ctx.journal = options.journal;
+    ctx.section_id = &section.id;
+    ctx.point_index = idx;
+
     PointResult point_result;
     try {
-      point_result = run_point(section, pt, pool, options.cancel);
+      point_result = run_point(section, pt, pool, ctx);
     } catch (const Error& e) {
-      if (e.kind() == ErrorKind::kInterrupted) throw;
+      // Interruption is the caller's signal and IO failure (shard writes
+      // run inside the point now) is environmental — neither is a model
+      // failure, so neither degrades the point.
+      if (e.kind() == ErrorKind::kInterrupted || e.kind() == ErrorKind::kIo)
+        throw;
       point_result.point = pt;
       point_result.label = pt.label();
       point_result.degraded = true;

@@ -83,7 +83,10 @@ struct RunOptions {
   /// When set, completed points are read from / recorded to the journal:
   /// already-journaled points are skipped wholesale (their recorded result
   /// is reused bit-exactly) and each newly completed clean point is
-  /// persisted before the next one starts.
+  /// persisted before the next one starts. Resume is replicate-granular:
+  /// inside a point, each completed replicate is persisted as a shard and
+  /// replayed on resume, so a run killed mid-replicate only recomputes the
+  /// replicates that were in flight (see sweep/checkpoint.hpp).
   Journal* journal = nullptr;
   /// Soft per-point wall-clock deadline in milliseconds (0 = off). Points
   /// are never aborted mid-flight — that would make the emitted numbers

@@ -28,9 +28,9 @@ TEST_F(FaultTest, InertByDefault) {
 
 TEST_F(FaultTest, KnownSitesAreDocumented) {
   const auto& sites = known_sites();
-  EXPECT_EQ(sites.size(), 5u);
-  for (const char* site : {"replicate.throw", "point.slow", "io.open",
-                           "io.write", "series.near-singular"})
+  EXPECT_EQ(sites.size(), 6u);
+  for (const char* site : {"replicate.throw", "replicate.slow", "point.slow",
+                           "io.open", "io.write", "series.near-singular"})
     EXPECT_TRUE(is_known_site(site)) << site;
   EXPECT_FALSE(is_known_site("nope"));
 }

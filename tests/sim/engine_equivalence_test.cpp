@@ -11,6 +11,7 @@
 
 #include "obs/report.hpp"
 #include "sim/network.hpp"
+#include "simd/simd.hpp"
 
 namespace ksw::sim {
 namespace {
@@ -195,6 +196,93 @@ TEST(EngineEquivalence, GeometricServiceNoObs) {
   cfg.measure_cycles = 1'500;
   cfg.seed = 64;
   cfg.total_checkpoints = {1, 3};
+  expect_bit_identical(cfg);
+}
+
+// ---- Fast-engine coverage --------------------------------------------
+// Philox + unit service + infinite queues + no telemetry dispatches to the
+// branch-specialized engine inside run_network (16-byte packets, two-pass
+// service walk). base_config() turns obs on and so never reaches it; the
+// configs below do, and run_network_reference remains the oracle.
+
+/// A config that qualifies for the fast engine: unit service, infinite
+/// queues, telemetry off.
+NetworkConfig fast_config() {
+  NetworkConfig cfg;
+  cfg.k = 2;
+  cfg.stages = 4;
+  cfg.p = 0.6;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 2'000;
+  cfg.seed = 1234;
+  cfg.total_checkpoints = {2, 4};
+  return cfg;
+}
+
+TEST(EngineEquivalence, FastEngineUniformTraffic) {
+  expect_bit_identical(fast_config());
+}
+
+TEST(EngineEquivalence, FastEngineMixedTrafficWideSwitch) {
+  NetworkConfig cfg = fast_config();
+  cfg.k = 4;
+  cfg.stages = 3;
+  cfg.p = 0.8;
+  cfg.q = 0.1;
+  cfg.hotspot = 0.05;
+  cfg.hotspot_target = 60;  // valid: < 4^3 ports
+  cfg.total_checkpoints = {1, 3};
+  cfg.seed = 99;
+  expect_bit_identical(cfg);
+}
+
+TEST(EngineEquivalence, FastEngineBulkArrivals) {
+  NetworkConfig cfg = fast_config();
+  cfg.bulk = 2;
+  cfg.p = 0.35;
+  cfg.seed = 31;
+  expect_bit_identical(cfg);
+}
+
+TEST(EngineEquivalence, FastEngineForcedScalarMatchesWidestSimd) {
+  // The dispatch level must never change a single bit: run the identical
+  // config once per level and compare through the reference oracle. This
+  // is the in-process version of the CI forced-scalar (KSW_SIMD=off) job.
+  const NetworkConfig cfg = fast_config();
+  NetworkResults scalar, widest;
+  {
+    simd::ScopedForceLevel force(simd::Level::kScalar);
+    scalar = run_network(cfg);
+    expect_bit_identical(cfg);
+  }
+  {
+    simd::ScopedForceLevel force(simd::Level::kAvx2);  // clamps if absent
+    widest = run_network(cfg);
+  }
+  EXPECT_EQ(scalar.packets_delivered, widest.packets_delivered);
+  ASSERT_EQ(scalar.stage_wait.size(), widest.stage_wait.size());
+  for (std::size_t s = 0; s < scalar.stage_wait.size(); ++s) {
+    EXPECT_EQ(scalar.stage_wait[s].count(), widest.stage_wait[s].count());
+    EXPECT_EQ(scalar.stage_wait[s].mean(), widest.stage_wait[s].mean());
+    EXPECT_EQ(scalar.stage_wait[s].variance(),
+              widest.stage_wait[s].variance());
+  }
+}
+
+TEST(EngineEquivalence, XoshiroStreamStillSupported) {
+  // The historic sequential RNG is kept for baseline comparison; both
+  // engines must agree on it (and it must not reach the fast engine,
+  // whose injection batching assumes counter addressing).
+  NetworkConfig cfg = base_config();
+  cfg.rng = RngKind::kXoshiro;
+  cfg.seed = 2024;
+  expect_bit_identical(cfg);
+}
+
+TEST(EngineEquivalence, XoshiroNoObsUnitService) {
+  NetworkConfig cfg = fast_config();
+  cfg.rng = RngKind::kXoshiro;
+  cfg.seed = 7;
   expect_bit_identical(cfg);
 }
 

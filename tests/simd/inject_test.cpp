@@ -1,0 +1,125 @@
+#include "simd/inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rng/philox.hpp"
+#include "simd/simd.hpp"
+
+namespace ksw::simd {
+namespace {
+
+InjectParams params_for(double p, double hotspot, double q,
+                        std::uint32_t ports) {
+  InjectParams prm;
+  prm.key = rng::philox_key(1234);
+  prm.thr_arrival = rng::bernoulli_threshold(p);
+  prm.thr_hotspot = rng::bernoulli_threshold(hotspot);
+  prm.thr_favorite = rng::bernoulli_threshold(q);
+  prm.hotspot_target = ports / 2;
+  prm.ports = ports;
+  return prm;
+}
+
+std::vector<std::uint32_t> oracle(const InjectParams& prm, std::int64_t cycle,
+                                  std::uint32_t first_port,
+                                  std::uint32_t count) {
+  std::vector<std::uint32_t> out(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    out[i] = inject_one(prm, cycle, first_port + i);
+  return out;
+}
+
+TEST(Inject, ScalarBatchMatchesPerPortOracle) {
+  const InjectParams prm = params_for(0.7, 0.05, 0.1, 64);
+  for (const std::int64_t cycle :
+       {std::int64_t{0}, std::int64_t{999}, std::int64_t{1} << 40}) {
+    std::vector<std::uint32_t> got(64);
+    detail::inject_batch_scalar(prm, cycle, 0, 64, got.data());
+    EXPECT_EQ(got, oracle(prm, cycle, 0, 64)) << "cycle " << cycle;
+  }
+}
+
+TEST(Inject, DispatchedBatchMatchesOracleAtEveryCountAndOffset) {
+  // Remainder handling: every count from 0 to beyond two vector widths,
+  // at an offset that misaligns the port base.
+  const InjectParams prm = params_for(0.8, 0.0, 0.0, 256);
+  for (std::uint32_t count = 0; count <= 20; ++count) {
+    for (const std::uint32_t first : {0u, 3u}) {
+      std::vector<std::uint32_t> got(count + 1, 0xdeadbeefu);
+      inject_batch(prm, 17, first, count, got.data());
+      const auto want = oracle(prm, 17, first, count);
+      for (std::uint32_t i = 0; i < count; ++i)
+        EXPECT_EQ(got[i], want[i]) << "count " << count << " i " << i;
+      // One past the end is never written.
+      EXPECT_EQ(got[count], 0xdeadbeefu);
+    }
+  }
+}
+
+TEST(Inject, Avx2MatchesScalarBitForBit) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (!cpu_supports(Level::kAvx2)) GTEST_SKIP() << "no AVX2 on this CPU";
+  // All traffic classes on at once, ports not a multiple of the lane
+  // width, and a cycle past 2^32 so the packed high bits participate.
+  const InjectParams prm = params_for(0.9, 0.02, 0.3, 27);
+  for (const std::int64_t cycle :
+       {std::int64_t{0}, std::int64_t{12345}, (std::int64_t{1} << 33) + 5}) {
+    std::vector<std::uint32_t> scalar(27), avx2(27);
+    detail::inject_batch_scalar(prm, cycle, 0, 27, scalar.data());
+    detail::inject_batch_avx2(prm, cycle, 0, 27, avx2.data());
+    EXPECT_EQ(scalar, avx2) << "cycle " << cycle;
+  }
+#else
+  GTEST_SKIP() << "non-x86 build";
+#endif
+}
+
+TEST(Inject, ForcedScalarAndForcedAvx2AgreeThroughDispatch) {
+  const InjectParams prm = params_for(0.6, 0.1, 0.2, 32);
+  std::vector<std::uint32_t> scalar(32), widest(32);
+  {
+    ScopedForceLevel force(Level::kScalar);
+    EXPECT_EQ(active_level(), Level::kScalar);
+    inject_batch(prm, 5, 0, 32, scalar.data());
+  }
+  {
+    ScopedForceLevel force(Level::kAvx2);  // clamps to scalar if unsupported
+    inject_batch(prm, 5, 0, 32, widest.data());
+  }
+  EXPECT_EQ(scalar, widest);
+}
+
+TEST(Inject, LevelNamesAreCanonical) {
+  EXPECT_EQ(std::string(to_string(Level::kScalar)), "scalar");
+  EXPECT_EQ(std::string(to_string(Level::kAvx2)), "avx2");
+}
+
+TEST(Inject, ScopedForceLevelRestoresPreviousSelection) {
+  const Level before = active_level();
+  {
+    ScopedForceLevel force(Level::kScalar);
+    EXPECT_EQ(active_level(), Level::kScalar);
+  }
+  EXPECT_EQ(active_level(), before);
+}
+
+TEST(Inject, ZeroArrivalProbabilityInjectsNothing) {
+  const InjectParams prm = params_for(0.0, 0.0, 0.0, 16);
+  std::vector<std::uint32_t> got(16);
+  inject_batch(prm, 3, 0, 16, got.data());
+  for (const std::uint32_t dst : got) EXPECT_EQ(dst, kNoArrival);
+}
+
+TEST(Inject, CertainArrivalAlwaysInjectsInRange) {
+  const InjectParams prm = params_for(1.0, 0.0, 0.0, 16);
+  std::vector<std::uint32_t> got(16);
+  inject_batch(prm, 3, 0, 16, got.data());
+  for (const std::uint32_t dst : got) EXPECT_LT(dst, 16u);
+}
+
+}  // namespace
+}  // namespace ksw::simd

@@ -1,0 +1,116 @@
+#include "stats/moment_tally.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/accumulator.hpp"
+
+namespace ksw::stats {
+namespace {
+
+TEST(MomentTally, EmptyMirrorsAccumulatorConventions) {
+  const MomentTally t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.mean(), 0.0);
+  EXPECT_EQ(t.variance(), 0.0);
+  EXPECT_EQ(t.skewness(), 0.0);
+  EXPECT_EQ(t.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(t.max(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MomentTally, MatchesAccumulatorOnSmallSample) {
+  MomentTally t;
+  Accumulator a;
+  for (const std::int64_t x : {0, 3, 1, 7, 2, 2, 9, 0}) {
+    t.add(x);
+    a.add(static_cast<double>(x));
+  }
+  EXPECT_EQ(t.count(), a.count());
+  EXPECT_DOUBLE_EQ(t.mean(), a.mean());
+  EXPECT_NEAR(t.variance(), a.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(t.min(), a.min());
+  EXPECT_DOUBLE_EQ(t.max(), a.max());
+  EXPECT_DOUBLE_EQ(t.sum(), a.sum());
+}
+
+TEST(MomentTally, MergeIsExactlyOrderIndependent) {
+  // The property replicate reduction relies on: integer sums are
+  // associative and commutative, so any merge order yields identical bits.
+  MomentTally a, b, c;
+  for (int i = 0; i < 100; ++i) a.add(i % 13);
+  for (int i = 0; i < 57; ++i) b.add((i * 7) % 29);
+  for (int i = 0; i < 31; ++i) c.add(1000 + i);
+
+  MomentTally abc = a;
+  abc.merge(b);
+  abc.merge(c);
+  MomentTally cba = c;
+  cba.merge(b);
+  cba.merge(a);
+  EXPECT_EQ(abc.count(), cba.count());
+  EXPECT_EQ(abc.mean(), cba.mean());          // bit-equal, not approximate
+  EXPECT_EQ(abc.variance(), cba.variance());
+  EXPECT_EQ(abc.skewness(), cba.skewness());
+  EXPECT_EQ(abc.min(), cba.min());
+  EXPECT_EQ(abc.max(), cba.max());
+}
+
+TEST(MomentTally, SkewnessSignTracksAsymmetry) {
+  MomentTally right;  // long right tail
+  for (int i = 0; i < 99; ++i) right.add(0);
+  right.add(100);
+  EXPECT_GT(right.skewness(), 0.0);
+
+  MomentTally sym;
+  for (const std::int64_t x : {1, 2, 3, 3, 4, 5}) sym.add(x);
+  EXPECT_NEAR(sym.skewness(), 0.0, 1e-12);
+}
+
+TEST(MomentTally, PowerSumsStayExactAtTheDocumentedBound) {
+  // 2^20-valued observations: s3 per add is 2^60, so a few thousand adds
+  // exceed 64 bits and exercise the 128-bit accumulators.
+  MomentTally t;
+  const std::int64_t big = 1 << 20;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) t.add(big);
+  EXPECT_EQ(t.count(), static_cast<std::uint64_t>(n));
+  EXPECT_DOUBLE_EQ(t.mean(), static_cast<double>(big));
+  EXPECT_EQ(t.variance(), 0.0);  // identical values: exactly zero
+  const auto raw = t.raw();
+  EXPECT_TRUE(raw.s3 ==
+              static_cast<__int128_t>(big) * big * big * n);
+}
+
+TEST(MomentTally, RawRoundTripsIncludingEmptySentinels) {
+  MomentTally t;
+  t.add(-5);
+  t.add(17);
+  const MomentTally back = MomentTally::from_raw(t.raw());
+  EXPECT_EQ(back.count(), t.count());
+  EXPECT_EQ(back.mean(), t.mean());
+  EXPECT_EQ(back.variance(), t.variance());
+  EXPECT_EQ(back.min(), -5.0);
+  EXPECT_EQ(back.max(), 17.0);
+
+  // Empty tallies round-trip to empty (min/max sentinels restored).
+  const MomentTally empty = MomentTally::from_raw(MomentTally{}.raw());
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.min(), std::numeric_limits<double>::infinity());
+  MomentTally merged = empty;
+  merged.add(3);
+  EXPECT_EQ(merged.min(), 3.0);
+  EXPECT_EQ(merged.max(), 3.0);
+}
+
+TEST(MomentTally, ResetReturnsToEmpty) {
+  MomentTally t;
+  t.add(4);
+  t.reset();
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.min(), std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace ksw::stats

@@ -5,8 +5,12 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "sim/first_stage_sim.hpp"
+#include "sim/network.hpp"
+#include "stats/moment_tally.hpp"
 #include "support/error.hpp"
 
 namespace ksw::sweep {
@@ -146,6 +150,158 @@ TEST_F(JournalTest, FileOnDiskIsAlwaysACompleteSnapshot) {
   EXPECT_EQ(Journal::load_or_create(path_, "fp").size(), 1u);
   journal.record("a", 1, sample_result());
   EXPECT_EQ(Journal::load_or_create(path_, "fp").size(), 2u);
+}
+
+// ---- Replicate shards ------------------------------------------------
+
+/// Tally whose power sums exceed 64 bits: 1500 observations of 2^20 - 1
+/// push s3 past 1.5e21, so the decimal 128-bit round-trip is exercised,
+/// and one negative value exercises the signed paths.
+stats::MomentTally big_tally() {
+  stats::MomentTally t;
+  for (int i = 0; i < 1500; ++i) t.add((1 << 20) - 1);
+  t.add(-3);
+  return t;
+}
+
+void expect_same_raw(const stats::MomentTally& a, const stats::MomentTally& b) {
+  const auto ra = a.raw();
+  const auto rb = b.raw();
+  EXPECT_EQ(ra.n, rb.n);
+  EXPECT_EQ(ra.s1, rb.s1);
+  EXPECT_TRUE(ra.s2 == rb.s2);
+  EXPECT_TRUE(ra.s3 == rb.s3);
+  EXPECT_EQ(ra.min, rb.min);
+  EXPECT_EQ(ra.max, rb.max);
+}
+
+sim::NetworkResults sample_network_shard() {
+  sim::NetworkResults r;
+  r.stage_wait.push_back(big_tally());
+  r.stage_wait.emplace_back();
+  r.stage_wait.back().add(7);
+  r.stage_depth.resize(2);
+  r.stage_depth[0].add(0);
+  r.stage_depth[1].add(5);
+  stats::IntHistogram h;
+  h.add(0, 100);
+  h.add(17, 3);  // sparse: values 1..16 never observed
+  r.total_wait.push_back(h);
+  r.packets_injected = 123456;
+  r.packets_delivered = 123400;
+  r.packets_dropped = 56;
+  return r;
+}
+
+TEST_F(JournalTest, NetworkShardRoundTripsExactly) {
+  const sim::NetworkResults original = sample_network_shard();
+  const Journal::ShardKey key{"totals", 3, "net", 2};
+  {
+    Journal journal(path_, "fp");
+    journal.record_shard(key, original);
+  }
+  const Journal reloaded = Journal::load_or_create(path_, "fp");
+  EXPECT_EQ(reloaded.shard_count(), 1u);
+  const auto read = reloaded.find_network_shard(key);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->stage_wait.size(), 2u);
+  expect_same_raw(read->stage_wait[0], original.stage_wait[0]);
+  expect_same_raw(read->stage_wait[1], original.stage_wait[1]);
+  ASSERT_EQ(read->stage_depth.size(), 2u);
+  expect_same_raw(read->stage_depth[1], original.stage_depth[1]);
+  ASSERT_EQ(read->total_wait.size(), 1u);
+  EXPECT_EQ(read->total_wait[0].total(), original.total_wait[0].total());
+  EXPECT_EQ(read->total_wait[0].count(0), 100u);
+  EXPECT_EQ(read->total_wait[0].count(1), 0u);
+  EXPECT_EQ(read->total_wait[0].count(17), 3u);
+  EXPECT_EQ(read->packets_injected, original.packets_injected);
+  EXPECT_EQ(read->packets_delivered, original.packets_delivered);
+  EXPECT_EQ(read->packets_dropped, original.packets_dropped);
+}
+
+TEST_F(JournalTest, FirstStageShardRoundTripsExactly) {
+  sim::FirstStageResults original;
+  original.waiting = big_tally();
+  original.histogram.add(4, 9);
+  original.queue_depth.add(1);
+  original.messages = 777;
+  const Journal::ShardKey key{"uniform", 0, "fs", 1};
+  {
+    Journal journal(path_, "fp");
+    journal.record_shard(key, original);
+  }
+  const Journal reloaded = Journal::load_or_create(path_, "fp");
+  const auto read = reloaded.find_first_stage_shard(key);
+  ASSERT_TRUE(read.has_value());
+  expect_same_raw(read->waiting, original.waiting);
+  expect_same_raw(read->queue_depth, original.queue_depth);
+  EXPECT_EQ(read->histogram.count(4), 9u);
+  EXPECT_EQ(read->messages, 777u);
+}
+
+TEST_F(JournalTest, ShardKeysDistinguishRunAndReplicate) {
+  Journal journal(path_, "fp");
+  const sim::NetworkResults shard = sample_network_shard();
+  journal.record_shard(Journal::ShardKey{"a", 0, "oracle", 0}, shard);
+  journal.record_shard(Journal::ShardKey{"a", 0, "depth=4", 0}, shard);
+  journal.record_shard(Journal::ShardKey{"a", 0, "oracle", 1}, shard);
+  EXPECT_EQ(journal.shard_count(), 3u);
+  EXPECT_TRUE(
+      journal.find_network_shard({"a", 0, "oracle", 0}).has_value());
+  EXPECT_TRUE(
+      journal.find_network_shard({"a", 0, "depth=4", 0}).has_value());
+  EXPECT_FALSE(
+      journal.find_network_shard({"a", 0, "depth=4", 1}).has_value());
+  EXPECT_FALSE(
+      journal.find_network_shard({"a", 1, "oracle", 0}).has_value());
+  EXPECT_FALSE(journal.find_network_shard({"b", 0, "oracle", 0}).has_value());
+}
+
+TEST_F(JournalTest, RecordingAPointPrunesItsShards) {
+  Journal journal(path_, "fp");
+  const sim::NetworkResults shard = sample_network_shard();
+  journal.record_shard(Journal::ShardKey{"a", 0, "net", 0}, shard);
+  journal.record_shard(Journal::ShardKey{"a", 0, "net", 1}, shard);
+  journal.record_shard(Journal::ShardKey{"a", 1, "net", 0}, shard);
+  ASSERT_EQ(journal.shard_count(), 3u);
+  journal.record("a", 0, sample_result());
+  // The completed point's shards are gone; the neighbouring point's stay.
+  EXPECT_EQ(journal.shard_count(), 1u);
+  EXPECT_TRUE(journal.find_network_shard({"a", 1, "net", 0}).has_value());
+  // Prune persists: a reload sees the same state.
+  const Journal reloaded = Journal::load_or_create(path_, "fp");
+  EXPECT_EQ(reloaded.shard_count(), 1u);
+  EXPECT_TRUE(reloaded.has("a", 0));
+}
+
+TEST_F(JournalTest, NonShardableResultsAreSkipped) {
+  sim::NetworkResults r = sample_network_shard();
+  r.stage_hist.emplace_back();  // per-stage histograms: not serialized
+  EXPECT_FALSE(Journal::shardable(r));
+  Journal journal(path_, "fp");
+  journal.record_shard(Journal::ShardKey{"a", 0, "net", 0}, r);
+  EXPECT_EQ(journal.shard_count(), 0u);
+  EXPECT_FALSE(journal.find_network_shard({"a", 0, "net", 0}).has_value());
+}
+
+TEST_F(JournalTest, LoadsV1JournalsWithoutShards) {
+  {
+    Journal journal(path_, "fp");
+    journal.record("uniform", 2, sample_result());
+  }
+  // Rewrite the header as v1: exactly what an interrupted pre-shard run
+  // left behind. It must load (points intact, zero shards).
+  std::stringstream buffer;
+  buffer << std::ifstream(path_).rdbuf();
+  std::string text = buffer.str();
+  const auto pos = text.find("ksw.checkpoint/v2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 17, "ksw.checkpoint/v1");
+  std::ofstream(path_, std::ios::binary) << text;
+  const Journal reloaded = Journal::load_or_create(path_, "fp");
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.shard_count(), 0u);
+  EXPECT_TRUE(reloaded.has("uniform", 2));
 }
 
 TEST_F(JournalTest, RemoveFileIsIdempotent) {
