@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/apps/kswsim/args.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/args.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/args.cpp.o.d"
+  "/root/repo/apps/kswsim/cmd_analyze.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_analyze.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_analyze.cpp.o.d"
+  "/root/repo/apps/kswsim/cmd_calibrate.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_calibrate.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_calibrate.cpp.o.d"
+  "/root/repo/apps/kswsim/cmd_fleet.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_fleet.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_fleet.cpp.o.d"
+  "/root/repo/apps/kswsim/cmd_network.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_network.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_network.cpp.o.d"
+  "/root/repo/apps/kswsim/cmd_reproduce.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_reproduce.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_reproduce.cpp.o.d"
+  "/root/repo/apps/kswsim/cmd_serve.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_serve.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_serve.cpp.o.d"
+  "/root/repo/apps/kswsim/cmd_simulate.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_simulate.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_simulate.cpp.o.d"
+  "/root/repo/apps/kswsim/cmd_trace.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_trace.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/cmd_trace.cpp.o.d"
+  "/root/repo/apps/kswsim/run.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/run.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/run.cpp.o.d"
+  "/root/repo/apps/kswsim/service_parse.cpp" "apps/CMakeFiles/ksw_cli.dir/kswsim/service_parse.cpp.o" "gcc" "apps/CMakeFiles/ksw_cli.dir/kswsim/service_parse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sweep/CMakeFiles/ksw_sweep.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fleet/CMakeFiles/ksw_fleet.dir/DependInfo.cmake"
+  "/root/repo/build2/src/serve/CMakeFiles/ksw_serve.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/ksw_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/simd/CMakeFiles/ksw_simd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/rng/CMakeFiles/ksw_rng.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/ksw_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/ksw_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/pgf/CMakeFiles/ksw_pgf.dir/DependInfo.cmake"
+  "/root/repo/build2/src/par/CMakeFiles/ksw_par.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tables/CMakeFiles/ksw_tables.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/ksw_obs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/ksw_io.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fault/CMakeFiles/ksw_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/ksw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

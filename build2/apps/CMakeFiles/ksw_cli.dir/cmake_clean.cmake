@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_cli.dir/kswsim/args.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/args.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_analyze.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_analyze.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_calibrate.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_calibrate.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_fleet.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_fleet.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_network.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_network.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_reproduce.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_reproduce.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_serve.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_serve.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_simulate.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_simulate.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_trace.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/cmd_trace.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/run.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/run.cpp.o.d"
+  "CMakeFiles/ksw_cli.dir/kswsim/service_parse.cpp.o"
+  "CMakeFiles/ksw_cli.dir/kswsim/service_parse.cpp.o.d"
+  "libksw_cli.a"
+  "libksw_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kswsim.dir/kswsim/main.cpp.o"
+  "CMakeFiles/kswsim.dir/kswsim/main.cpp.o.d"
+  "kswsim"
+  "kswsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kswsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bulk_arrivals.dir/ext_bulk_arrivals.cpp.o"
+  "CMakeFiles/ext_bulk_arrivals.dir/ext_bulk_arrivals.cpp.o.d"
+  "ext_bulk_arrivals"
+  "ext_bulk_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bulk_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_calibration.dir/ext_calibration.cpp.o"
+  "CMakeFiles/ext_calibration.dir/ext_calibration.cpp.o.d"
+  "ext_calibration"
+  "ext_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

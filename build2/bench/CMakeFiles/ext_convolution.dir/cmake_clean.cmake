@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_convolution.dir/ext_convolution.cpp.o"
+  "CMakeFiles/ext_convolution.dir/ext_convolution.cpp.o.d"
+  "ext_convolution"
+  "ext_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

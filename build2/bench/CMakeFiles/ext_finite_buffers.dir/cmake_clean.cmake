@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_finite_buffers.dir/ext_finite_buffers.cpp.o"
+  "CMakeFiles/ext_finite_buffers.dir/ext_finite_buffers.cpp.o.d"
+  "ext_finite_buffers"
+  "ext_finite_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_finite_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_finite_buffers.
+# This may be replaced when dependencies are built.

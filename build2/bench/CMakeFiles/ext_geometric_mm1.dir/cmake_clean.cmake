@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_geometric_mm1.dir/ext_geometric_mm1.cpp.o"
+  "CMakeFiles/ext_geometric_mm1.dir/ext_geometric_mm1.cpp.o.d"
+  "ext_geometric_mm1"
+  "ext_geometric_mm1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_geometric_mm1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

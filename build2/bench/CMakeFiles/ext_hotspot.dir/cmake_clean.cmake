@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hotspot.dir/ext_hotspot.cpp.o"
+  "CMakeFiles/ext_hotspot.dir/ext_hotspot.cpp.o.d"
+  "ext_hotspot"
+  "ext_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_serve.dir/perf_serve.cpp.o"
+  "CMakeFiles/perf_serve.dir/perf_serve.cpp.o.d"
+  "perf_serve"
+  "perf_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

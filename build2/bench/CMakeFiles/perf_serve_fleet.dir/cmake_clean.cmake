@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_serve_fleet.dir/perf_serve_fleet.cpp.o"
+  "CMakeFiles/perf_serve_fleet.dir/perf_serve_fleet.cpp.o.d"
+  "perf_serve_fleet"
+  "perf_serve_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_serve_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

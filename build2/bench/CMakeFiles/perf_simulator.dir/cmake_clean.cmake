@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_simulator.dir/perf_simulator.cpp.o"
+  "CMakeFiles/perf_simulator.dir/perf_simulator.cpp.o.d"
+  "perf_simulator"
+  "perf_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_rho_sweep.dir/table01_rho_sweep.cpp.o"
+  "CMakeFiles/table01_rho_sweep.dir/table01_rho_sweep.cpp.o.d"
+  "table01_rho_sweep"
+  "table01_rho_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_rho_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_switch_size.dir/table02_switch_size.cpp.o"
+  "CMakeFiles/table02_switch_size.dir/table02_switch_size.cpp.o.d"
+  "table02_switch_size"
+  "table02_switch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_switch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

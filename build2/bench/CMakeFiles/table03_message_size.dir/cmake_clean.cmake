@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_message_size.dir/table03_message_size.cpp.o"
+  "CMakeFiles/table03_message_size.dir/table03_message_size.cpp.o.d"
+  "table03_message_size"
+  "table03_message_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_message_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table03_message_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_multisize.dir/table04_multisize.cpp.o"
+  "CMakeFiles/table04_multisize.dir/table04_multisize.cpp.o.d"
+  "table04_multisize"
+  "table04_multisize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_multisize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table04_multisize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_nonuniform.dir/table05_nonuniform.cpp.o"
+  "CMakeFiles/table05_nonuniform.dir/table05_nonuniform.cpp.o.d"
+  "table05_nonuniform"
+  "table05_nonuniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_nonuniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table05_nonuniform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table05_nonuniform.
+# This may be replaced when dependencies are built.

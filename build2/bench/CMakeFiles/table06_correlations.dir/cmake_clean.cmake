@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_correlations.dir/table06_correlations.cpp.o"
+  "CMakeFiles/table06_correlations.dir/table06_correlations.cpp.o.d"
+  "table06_correlations"
+  "table06_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

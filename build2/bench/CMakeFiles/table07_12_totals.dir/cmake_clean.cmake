@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_12_totals.dir/table07_12_totals.cpp.o"
+  "CMakeFiles/table07_12_totals.dir/table07_12_totals.cpp.o.d"
+  "table07_12_totals"
+  "table07_12_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_12_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table07_12_totals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table07_12_totals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/ksw_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/ksw_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/closed_forms.cpp" "src/core/CMakeFiles/ksw_core.dir/closed_forms.cpp.o" "gcc" "src/core/CMakeFiles/ksw_core.dir/closed_forms.cpp.o.d"
+  "/root/repo/src/core/first_stage.cpp" "src/core/CMakeFiles/ksw_core.dir/first_stage.cpp.o" "gcc" "src/core/CMakeFiles/ksw_core.dir/first_stage.cpp.o.d"
+  "/root/repo/src/core/later_stages.cpp" "src/core/CMakeFiles/ksw_core.dir/later_stages.cpp.o" "gcc" "src/core/CMakeFiles/ksw_core.dir/later_stages.cpp.o.d"
+  "/root/repo/src/core/mg1.cpp" "src/core/CMakeFiles/ksw_core.dir/mg1.cpp.o" "gcc" "src/core/CMakeFiles/ksw_core.dir/mg1.cpp.o.d"
+  "/root/repo/src/core/models.cpp" "src/core/CMakeFiles/ksw_core.dir/models.cpp.o" "gcc" "src/core/CMakeFiles/ksw_core.dir/models.cpp.o.d"
+  "/root/repo/src/core/total_delay.cpp" "src/core/CMakeFiles/ksw_core.dir/total_delay.cpp.o" "gcc" "src/core/CMakeFiles/ksw_core.dir/total_delay.cpp.o.d"
+  "/root/repo/src/core/total_distribution.cpp" "src/core/CMakeFiles/ksw_core.dir/total_distribution.cpp.o" "gcc" "src/core/CMakeFiles/ksw_core.dir/total_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/pgf/CMakeFiles/ksw_pgf.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/ksw_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fault/CMakeFiles/ksw_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/ksw_io.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/ksw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

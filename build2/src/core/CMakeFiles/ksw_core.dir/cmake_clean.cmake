@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_core.dir/calibration.cpp.o"
+  "CMakeFiles/ksw_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/ksw_core.dir/closed_forms.cpp.o"
+  "CMakeFiles/ksw_core.dir/closed_forms.cpp.o.d"
+  "CMakeFiles/ksw_core.dir/first_stage.cpp.o"
+  "CMakeFiles/ksw_core.dir/first_stage.cpp.o.d"
+  "CMakeFiles/ksw_core.dir/later_stages.cpp.o"
+  "CMakeFiles/ksw_core.dir/later_stages.cpp.o.d"
+  "CMakeFiles/ksw_core.dir/mg1.cpp.o"
+  "CMakeFiles/ksw_core.dir/mg1.cpp.o.d"
+  "CMakeFiles/ksw_core.dir/models.cpp.o"
+  "CMakeFiles/ksw_core.dir/models.cpp.o.d"
+  "CMakeFiles/ksw_core.dir/total_delay.cpp.o"
+  "CMakeFiles/ksw_core.dir/total_delay.cpp.o.d"
+  "CMakeFiles/ksw_core.dir/total_distribution.cpp.o"
+  "CMakeFiles/ksw_core.dir/total_distribution.cpp.o.d"
+  "libksw_core.a"
+  "libksw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

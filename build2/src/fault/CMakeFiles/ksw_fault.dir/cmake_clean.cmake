@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_fault.dir/injection.cpp.o"
+  "CMakeFiles/ksw_fault.dir/injection.cpp.o.d"
+  "CMakeFiles/ksw_fault.dir/plan.cpp.o"
+  "CMakeFiles/ksw_fault.dir/plan.cpp.o.d"
+  "libksw_fault.a"
+  "libksw_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

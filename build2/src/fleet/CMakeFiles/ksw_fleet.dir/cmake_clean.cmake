@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_fleet.dir/routing.cpp.o"
+  "CMakeFiles/ksw_fleet.dir/routing.cpp.o.d"
+  "CMakeFiles/ksw_fleet.dir/supervisor.cpp.o"
+  "CMakeFiles/ksw_fleet.dir/supervisor.cpp.o.d"
+  "CMakeFiles/ksw_fleet.dir/worker.cpp.o"
+  "CMakeFiles/ksw_fleet.dir/worker.cpp.o.d"
+  "libksw_fleet.a"
+  "libksw_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_io.dir/atomic.cpp.o"
+  "CMakeFiles/ksw_io.dir/atomic.cpp.o.d"
+  "CMakeFiles/ksw_io.dir/csv.cpp.o"
+  "CMakeFiles/ksw_io.dir/csv.cpp.o.d"
+  "CMakeFiles/ksw_io.dir/json.cpp.o"
+  "CMakeFiles/ksw_io.dir/json.cpp.o.d"
+  "libksw_io.a"
+  "libksw_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

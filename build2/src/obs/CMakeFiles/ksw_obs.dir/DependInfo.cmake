@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/metrics.cpp" "src/obs/CMakeFiles/ksw_obs.dir/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/ksw_obs.dir/metrics.cpp.o.d"
+  "/root/repo/src/obs/registry.cpp" "src/obs/CMakeFiles/ksw_obs.dir/registry.cpp.o" "gcc" "src/obs/CMakeFiles/ksw_obs.dir/registry.cpp.o.d"
+  "/root/repo/src/obs/report.cpp" "src/obs/CMakeFiles/ksw_obs.dir/report.cpp.o" "gcc" "src/obs/CMakeFiles/ksw_obs.dir/report.cpp.o.d"
+  "/root/repo/src/obs/span.cpp" "src/obs/CMakeFiles/ksw_obs.dir/span.cpp.o" "gcc" "src/obs/CMakeFiles/ksw_obs.dir/span.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/obs/CMakeFiles/ksw_obs.dir/trace.cpp.o" "gcc" "src/obs/CMakeFiles/ksw_obs.dir/trace.cpp.o.d"
+  "/root/repo/src/obs/trace_export.cpp" "src/obs/CMakeFiles/ksw_obs.dir/trace_export.cpp.o" "gcc" "src/obs/CMakeFiles/ksw_obs.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/io/CMakeFiles/ksw_io.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/ksw_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fault/CMakeFiles/ksw_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_obs.dir/metrics.cpp.o"
+  "CMakeFiles/ksw_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/ksw_obs.dir/registry.cpp.o"
+  "CMakeFiles/ksw_obs.dir/registry.cpp.o.d"
+  "CMakeFiles/ksw_obs.dir/report.cpp.o"
+  "CMakeFiles/ksw_obs.dir/report.cpp.o.d"
+  "CMakeFiles/ksw_obs.dir/span.cpp.o"
+  "CMakeFiles/ksw_obs.dir/span.cpp.o.d"
+  "CMakeFiles/ksw_obs.dir/trace.cpp.o"
+  "CMakeFiles/ksw_obs.dir/trace.cpp.o.d"
+  "CMakeFiles/ksw_obs.dir/trace_export.cpp.o"
+  "CMakeFiles/ksw_obs.dir/trace_export.cpp.o.d"
+  "libksw_obs.a"
+  "libksw_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

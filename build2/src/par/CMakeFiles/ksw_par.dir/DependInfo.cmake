@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/cancel.cpp" "src/par/CMakeFiles/ksw_par.dir/cancel.cpp.o" "gcc" "src/par/CMakeFiles/ksw_par.dir/cancel.cpp.o.d"
+  "/root/repo/src/par/thread_pool.cpp" "src/par/CMakeFiles/ksw_par.dir/thread_pool.cpp.o" "gcc" "src/par/CMakeFiles/ksw_par.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/obs/CMakeFiles/ksw_obs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/ksw_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/ksw_io.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fault/CMakeFiles/ksw_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_par.dir/cancel.cpp.o"
+  "CMakeFiles/ksw_par.dir/cancel.cpp.o.d"
+  "CMakeFiles/ksw_par.dir/thread_pool.cpp.o"
+  "CMakeFiles/ksw_par.dir/thread_pool.cpp.o.d"
+  "libksw_par.a"
+  "libksw_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_pgf.dir/distribution.cpp.o"
+  "CMakeFiles/ksw_pgf.dir/distribution.cpp.o.d"
+  "CMakeFiles/ksw_pgf.dir/moments.cpp.o"
+  "CMakeFiles/ksw_pgf.dir/moments.cpp.o.d"
+  "CMakeFiles/ksw_pgf.dir/series.cpp.o"
+  "CMakeFiles/ksw_pgf.dir/series.cpp.o.d"
+  "libksw_pgf.a"
+  "libksw_pgf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_pgf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ksw_pgf.
+# This may be replaced when dependencies are built.

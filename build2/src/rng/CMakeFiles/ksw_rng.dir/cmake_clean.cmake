@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_rng.dir/philox.cpp.o"
+  "CMakeFiles/ksw_rng.dir/philox.cpp.o.d"
+  "CMakeFiles/ksw_rng.dir/xoshiro.cpp.o"
+  "CMakeFiles/ksw_rng.dir/xoshiro.cpp.o.d"
+  "libksw_rng.a"
+  "libksw_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_serve.dir/access_log.cpp.o"
+  "CMakeFiles/ksw_serve.dir/access_log.cpp.o.d"
+  "CMakeFiles/ksw_serve.dir/cache.cpp.o"
+  "CMakeFiles/ksw_serve.dir/cache.cpp.o.d"
+  "CMakeFiles/ksw_serve.dir/kernels.cpp.o"
+  "CMakeFiles/ksw_serve.dir/kernels.cpp.o.d"
+  "CMakeFiles/ksw_serve.dir/query.cpp.o"
+  "CMakeFiles/ksw_serve.dir/query.cpp.o.d"
+  "CMakeFiles/ksw_serve.dir/service.cpp.o"
+  "CMakeFiles/ksw_serve.dir/service.cpp.o.d"
+  "libksw_serve.a"
+  "libksw_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_sim.dir/first_stage_sim.cpp.o"
+  "CMakeFiles/ksw_sim.dir/first_stage_sim.cpp.o.d"
+  "CMakeFiles/ksw_sim.dir/network.cpp.o"
+  "CMakeFiles/ksw_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ksw_sim.dir/network_detail.cpp.o"
+  "CMakeFiles/ksw_sim.dir/network_detail.cpp.o.d"
+  "CMakeFiles/ksw_sim.dir/network_reference.cpp.o"
+  "CMakeFiles/ksw_sim.dir/network_reference.cpp.o.d"
+  "CMakeFiles/ksw_sim.dir/replicate.cpp.o"
+  "CMakeFiles/ksw_sim.dir/replicate.cpp.o.d"
+  "CMakeFiles/ksw_sim.dir/service_spec.cpp.o"
+  "CMakeFiles/ksw_sim.dir/service_spec.cpp.o.d"
+  "CMakeFiles/ksw_sim.dir/topology.cpp.o"
+  "CMakeFiles/ksw_sim.dir/topology.cpp.o.d"
+  "libksw_sim.a"
+  "libksw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simd/inject.cpp" "src/simd/CMakeFiles/ksw_simd.dir/inject.cpp.o" "gcc" "src/simd/CMakeFiles/ksw_simd.dir/inject.cpp.o.d"
+  "/root/repo/src/simd/inject_avx2.cpp" "src/simd/CMakeFiles/ksw_simd.dir/inject_avx2.cpp.o" "gcc" "src/simd/CMakeFiles/ksw_simd.dir/inject_avx2.cpp.o.d"
+  "/root/repo/src/simd/simd.cpp" "src/simd/CMakeFiles/ksw_simd.dir/simd.cpp.o" "gcc" "src/simd/CMakeFiles/ksw_simd.dir/simd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/rng/CMakeFiles/ksw_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

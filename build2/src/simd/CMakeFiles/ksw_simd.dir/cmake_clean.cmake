@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_simd.dir/inject.cpp.o"
+  "CMakeFiles/ksw_simd.dir/inject.cpp.o.d"
+  "CMakeFiles/ksw_simd.dir/inject_avx2.cpp.o"
+  "CMakeFiles/ksw_simd.dir/inject_avx2.cpp.o.d"
+  "CMakeFiles/ksw_simd.dir/simd.cpp.o"
+  "CMakeFiles/ksw_simd.dir/simd.cpp.o.d"
+  "libksw_simd.a"
+  "libksw_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/accumulator.cpp" "src/stats/CMakeFiles/ksw_stats.dir/accumulator.cpp.o" "gcc" "src/stats/CMakeFiles/ksw_stats.dir/accumulator.cpp.o.d"
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/ksw_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/ksw_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/covariance.cpp" "src/stats/CMakeFiles/ksw_stats.dir/covariance.cpp.o" "gcc" "src/stats/CMakeFiles/ksw_stats.dir/covariance.cpp.o.d"
+  "/root/repo/src/stats/gamma_distribution.cpp" "src/stats/CMakeFiles/ksw_stats.dir/gamma_distribution.cpp.o" "gcc" "src/stats/CMakeFiles/ksw_stats.dir/gamma_distribution.cpp.o.d"
+  "/root/repo/src/stats/goodness_of_fit.cpp" "src/stats/CMakeFiles/ksw_stats.dir/goodness_of_fit.cpp.o" "gcc" "src/stats/CMakeFiles/ksw_stats.dir/goodness_of_fit.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/ksw_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/ksw_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/moment_tally.cpp" "src/stats/CMakeFiles/ksw_stats.dir/moment_tally.cpp.o" "gcc" "src/stats/CMakeFiles/ksw_stats.dir/moment_tally.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/ksw_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/ksw_stats.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

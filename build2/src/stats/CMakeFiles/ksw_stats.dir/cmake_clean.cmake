@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_stats.dir/accumulator.cpp.o"
+  "CMakeFiles/ksw_stats.dir/accumulator.cpp.o.d"
+  "CMakeFiles/ksw_stats.dir/confidence.cpp.o"
+  "CMakeFiles/ksw_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/ksw_stats.dir/covariance.cpp.o"
+  "CMakeFiles/ksw_stats.dir/covariance.cpp.o.d"
+  "CMakeFiles/ksw_stats.dir/gamma_distribution.cpp.o"
+  "CMakeFiles/ksw_stats.dir/gamma_distribution.cpp.o.d"
+  "CMakeFiles/ksw_stats.dir/goodness_of_fit.cpp.o"
+  "CMakeFiles/ksw_stats.dir/goodness_of_fit.cpp.o.d"
+  "CMakeFiles/ksw_stats.dir/histogram.cpp.o"
+  "CMakeFiles/ksw_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/ksw_stats.dir/moment_tally.cpp.o"
+  "CMakeFiles/ksw_stats.dir/moment_tally.cpp.o.d"
+  "CMakeFiles/ksw_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/ksw_stats.dir/special_functions.cpp.o.d"
+  "libksw_stats.a"
+  "libksw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

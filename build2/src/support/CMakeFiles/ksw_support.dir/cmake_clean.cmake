@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_support.dir/error.cpp.o"
+  "CMakeFiles/ksw_support.dir/error.cpp.o.d"
+  "libksw_support.a"
+  "libksw_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_sweep.dir/checkpoint.cpp.o"
+  "CMakeFiles/ksw_sweep.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ksw_sweep.dir/emit.cpp.o"
+  "CMakeFiles/ksw_sweep.dir/emit.cpp.o.d"
+  "CMakeFiles/ksw_sweep.dir/manifest.cpp.o"
+  "CMakeFiles/ksw_sweep.dir/manifest.cpp.o.d"
+  "CMakeFiles/ksw_sweep.dir/runner.cpp.o"
+  "CMakeFiles/ksw_sweep.dir/runner.cpp.o.d"
+  "libksw_sweep.a"
+  "libksw_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksw_tables.dir/table.cpp.o"
+  "CMakeFiles/ksw_tables.dir/table.cpp.o.d"
+  "libksw_tables.a"
+  "libksw_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksw_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

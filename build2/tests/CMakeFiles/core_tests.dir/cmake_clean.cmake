@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/calibration_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/calibration_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/closed_forms_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/closed_forms_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/first_stage_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/first_stage_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/later_stages_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/later_stages_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mg1_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mg1_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/models_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/models_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/paper_anchors_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/paper_anchors_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/property_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/property_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/total_delay_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/total_delay_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/total_distribution_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/total_distribution_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

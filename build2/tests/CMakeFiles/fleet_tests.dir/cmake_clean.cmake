@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_tests.dir/fleet/fleet_e2e_test.cpp.o"
+  "CMakeFiles/fleet_tests.dir/fleet/fleet_e2e_test.cpp.o.d"
+  "CMakeFiles/fleet_tests.dir/fleet/routing_test.cpp.o"
+  "CMakeFiles/fleet_tests.dir/fleet/routing_test.cpp.o.d"
+  "fleet_tests"
+  "fleet_tests.pdb"
+  "fleet_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

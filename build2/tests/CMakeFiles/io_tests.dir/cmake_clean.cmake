@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_tests.dir/io/atomic_test.cpp.o"
+  "CMakeFiles/io_tests.dir/io/atomic_test.cpp.o.d"
+  "CMakeFiles/io_tests.dir/io/csv_test.cpp.o"
+  "CMakeFiles/io_tests.dir/io/csv_test.cpp.o.d"
+  "CMakeFiles/io_tests.dir/io/json_test.cpp.o"
+  "CMakeFiles/io_tests.dir/io/json_test.cpp.o.d"
+  "io_tests"
+  "io_tests.pdb"
+  "io_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_tests.dir/obs/registry_test.cpp.o"
+  "CMakeFiles/obs_tests.dir/obs/registry_test.cpp.o.d"
+  "CMakeFiles/obs_tests.dir/obs/report_test.cpp.o"
+  "CMakeFiles/obs_tests.dir/obs/report_test.cpp.o.d"
+  "CMakeFiles/obs_tests.dir/obs/span_test.cpp.o"
+  "CMakeFiles/obs_tests.dir/obs/span_test.cpp.o.d"
+  "obs_tests"
+  "obs_tests.pdb"
+  "obs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_tests.dir/par/thread_pool_test.cpp.o"
+  "CMakeFiles/par_tests.dir/par/thread_pool_test.cpp.o.d"
+  "par_tests"
+  "par_tests.pdb"
+  "par_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

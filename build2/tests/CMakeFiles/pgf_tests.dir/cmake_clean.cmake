@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgf_tests.dir/pgf/distribution_test.cpp.o"
+  "CMakeFiles/pgf_tests.dir/pgf/distribution_test.cpp.o.d"
+  "CMakeFiles/pgf_tests.dir/pgf/moments_test.cpp.o"
+  "CMakeFiles/pgf_tests.dir/pgf/moments_test.cpp.o.d"
+  "CMakeFiles/pgf_tests.dir/pgf/series_test.cpp.o"
+  "CMakeFiles/pgf_tests.dir/pgf/series_test.cpp.o.d"
+  "pgf_tests"
+  "pgf_tests.pdb"
+  "pgf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

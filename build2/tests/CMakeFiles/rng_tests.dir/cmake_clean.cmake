@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_tests.dir/rng/philox_test.cpp.o"
+  "CMakeFiles/rng_tests.dir/rng/philox_test.cpp.o.d"
+  "CMakeFiles/rng_tests.dir/rng/xoshiro_test.cpp.o"
+  "CMakeFiles/rng_tests.dir/rng/xoshiro_test.cpp.o.d"
+  "rng_tests"
+  "rng_tests.pdb"
+  "rng_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

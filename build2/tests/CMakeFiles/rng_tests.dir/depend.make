@@ -1,0 +1,2 @@
+# Empty dependencies file for rng_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_tests.dir/serve/access_log_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/access_log_test.cpp.o.d"
+  "CMakeFiles/serve_tests.dir/serve/cache_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/cache_test.cpp.o.d"
+  "CMakeFiles/serve_tests.dir/serve/query_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/query_test.cpp.o.d"
+  "CMakeFiles/serve_tests.dir/serve/service_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/service_test.cpp.o.d"
+  "serve_tests"
+  "serve_tests.pdb"
+  "serve_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

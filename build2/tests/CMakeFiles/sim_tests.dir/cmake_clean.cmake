@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/engine_equivalence_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/engine_equivalence_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/first_stage_sim_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/first_stage_sim_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/flow_control_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/flow_control_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/network_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/network_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/queue_pool_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/queue_pool_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/replicate_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/replicate_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/ring_queue_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/ring_queue_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/service_spec_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/service_spec_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/topology_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/topology_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_tests.dir/simd/inject_test.cpp.o"
+  "CMakeFiles/simd_tests.dir/simd/inject_test.cpp.o.d"
+  "simd_tests"
+  "simd_tests.pdb"
+  "simd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/accumulator_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/accumulator_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/covariance_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/covariance_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/gamma_distribution_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/gamma_distribution_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/goodness_of_fit_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/goodness_of_fit_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/moment_tally_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/moment_tally_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/special_functions_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/special_functions_test.cpp.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

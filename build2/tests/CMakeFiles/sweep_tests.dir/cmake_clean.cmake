@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_tests.dir/sweep/checkpoint_test.cpp.o"
+  "CMakeFiles/sweep_tests.dir/sweep/checkpoint_test.cpp.o.d"
+  "CMakeFiles/sweep_tests.dir/sweep/manifest_test.cpp.o"
+  "CMakeFiles/sweep_tests.dir/sweep/manifest_test.cpp.o.d"
+  "CMakeFiles/sweep_tests.dir/sweep/sweep_test.cpp.o"
+  "CMakeFiles/sweep_tests.dir/sweep/sweep_test.cpp.o.d"
+  "sweep_tests"
+  "sweep_tests.pdb"
+  "sweep_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tables/table_test.cpp" "tests/CMakeFiles/tables_tests.dir/tables/table_test.cpp.o" "gcc" "tests/CMakeFiles/tables_tests.dir/tables/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sweep/CMakeFiles/ksw_sweep.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fleet/CMakeFiles/ksw_fleet.dir/DependInfo.cmake"
+  "/root/repo/build2/src/serve/CMakeFiles/ksw_serve.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/ksw_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/simd/CMakeFiles/ksw_simd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/rng/CMakeFiles/ksw_rng.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/ksw_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/ksw_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/pgf/CMakeFiles/ksw_pgf.dir/DependInfo.cmake"
+  "/root/repo/build2/src/par/CMakeFiles/ksw_par.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tables/CMakeFiles/ksw_tables.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/ksw_obs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/ksw_io.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fault/CMakeFiles/ksw_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/ksw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

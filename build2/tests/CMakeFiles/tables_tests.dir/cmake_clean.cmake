@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_tests.dir/tables/table_test.cpp.o"
+  "CMakeFiles/tables_tests.dir/tables/table_test.cpp.o.d"
+  "tables_tests"
+  "tables_tests.pdb"
+  "tables_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

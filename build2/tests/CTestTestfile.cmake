@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/fault_tests[1]_include.cmake")
+include("/root/repo/build2/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build2/tests/rng_tests[1]_include.cmake")
+include("/root/repo/build2/tests/simd_tests[1]_include.cmake")
+include("/root/repo/build2/tests/pgf_tests[1]_include.cmake")
+include("/root/repo/build2/tests/core_tests[1]_include.cmake")
+include("/root/repo/build2/tests/par_tests[1]_include.cmake")
+include("/root/repo/build2/tests/obs_tests[1]_include.cmake")
+include("/root/repo/build2/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build2/tests/tables_tests[1]_include.cmake")
+include("/root/repo/build2/tests/io_tests[1]_include.cmake")
+include("/root/repo/build2/tests/sweep_tests[1]_include.cmake")
+include("/root/repo/build2/tests/serve_tests[1]_include.cmake")
+include("/root/repo/build2/tests/fleet_tests[1]_include.cmake")
+include("/root/repo/build2/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build2/tests/integration_tests[1]_include.cmake")
